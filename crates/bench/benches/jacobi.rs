@@ -1,0 +1,44 @@
+//! E6 — Theorem 10 + §5.4: prints the Jacobi analysis (tiling ablation +
+//! critical dimensions) and benchmarks the tiled vs untiled simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmc_kernels::grid::Stencil;
+use dmc_kernels::jacobi::jacobi_cdag;
+use dmc_machine::{Level, MemoryHierarchy};
+use dmc_sim::{schedule, simulate};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", dmc_bench::jacobi_experiment());
+    let mut group = c.benchmark_group("jacobi");
+    let j = jacobi_cdag(256, 1, 32, Stencil::VonNeumann);
+    let h = MemoryHierarchy::new(vec![
+        Level::new("L1", 1, 48),
+        Level::new("mem", 1, u64::MAX),
+    ])
+    .expect("valid");
+    let owner = vec![0usize; j.cdag.num_vertices()];
+    let untiled = schedule::by_level(&j.cdag);
+    let tiled = schedule::tiled_jacobi_1d(&j, 16);
+    group.bench_function("simulate/untiled", |b| {
+        b.iter(|| simulate(&j.cdag, &h, &untiled, &owner).total_dram_traffic())
+    });
+    group.bench_function("simulate/tiled_w16", |b| {
+        b.iter(|| simulate(&j.cdag, &h, &tiled, &owner).total_dram_traffic())
+    });
+    group.bench_function("stencil_sweep_2d/n128", |b| {
+        let u = vec![1.0f64; 128 * 128];
+        let mut out = vec![0.0f64; 128 * 128];
+        b.iter(|| dmc_solvers::jacobi::stencil_sweep_2d(&u, 128, &mut out))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E11 — §3.3: prints the automated min-cut wavefront tables and
+//! benchmarks the Dinic vertex-min-cut on growing CDAGs (anchor-strategy
+//! ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmc_core::bounds::decompose::untag_inputs;
+use dmc_core::bounds::mincut::{auto_wavefront_bound, AnchorStrategy};
+use dmc_kernels::chains::ladder;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", dmc_bench::mincut_experiment());
+    let mut group = c.benchmark_group("mincut");
+    for w in [6usize, 10, 14] {
+        let g = untag_inputs(&ladder(w, w));
+        group.bench_function(format!("auto_all/ladder{w}"), |b| {
+            b.iter(|| auto_wavefront_bound(&g, 2, AnchorStrategy::All).value)
+        });
+        group.bench_function(format!("auto_perlevel/ladder{w}"), |b| {
+            b.iter(|| auto_wavefront_bound(&g, 2, AnchorStrategy::PerLevel).value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E1 — Table 1: prints the machine-balance table and benchmarks balance
+//! computation (trivially fast; included for completeness of the per-table
+//! bench mapping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", dmc_bench::table1());
+    c.bench_function("table1/balance_computation", |b| {
+        b.iter(|| {
+            let machines = dmc_machine::specs::table1_machines();
+            machines
+                .iter()
+                .map(|m| m.vertical_balance() + m.horizontal_balance())
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench
+}
+criterion_main!(benches);

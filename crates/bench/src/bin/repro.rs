@@ -1,0 +1,31 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//! ```text
+//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|partition|parallel|figures|all]
+//! ```
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let out = match arg.as_str() {
+        "table1" => dmc_bench::table1(),
+        "sec3" => dmc_bench::sec3_composite(&[2, 4, 8]),
+        "cg" => dmc_bench::cg_experiment(),
+        "gmres" => dmc_bench::gmres_experiment(),
+        "jacobi" => dmc_bench::jacobi_experiment(),
+        "pebbling" | "validate" => dmc_bench::pebbling_experiment(),
+        "mincut" => dmc_bench::mincut_experiment(),
+        "partition" => dmc_bench::partition_experiment(),
+        "parallel" => dmc_bench::parallel_experiment(),
+        "figures" | "fig1" | "fig2" | "solvers" => dmc_bench::figures(),
+        "all" => dmc_bench::run_all(),
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: table1 sec3 cg gmres \
+                 jacobi pebbling mincut partition parallel figures all"
+            );
+            std::process::exit(2);
+        }
+    };
+    print!("{out}");
+}

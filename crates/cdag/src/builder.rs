@@ -1,0 +1,303 @@
+//! Incremental construction of [`Cdag`]s.
+
+use crate::bitset::BitSet;
+use crate::graph::{Cdag, VertexId};
+
+/// Errors reported by [`CdagBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The edge set contains a directed cycle; the offending vertex is one
+    /// that remained with nonzero in-degree after Kahn's algorithm.
+    Cycle(VertexId),
+    /// An edge endpoint referenced a vertex id that was never added.
+    DanglingEdge(VertexId, VertexId),
+    /// A self-loop `(v, v)` was added.
+    SelfLoop(VertexId),
+    /// A vertex was tagged as input but has at least one predecessor.
+    InputWithPredecessor(VertexId),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Cycle(v) => write!(f, "edge set contains a cycle through {v}"),
+            BuildError::DanglingEdge(u, v) => write!(f, "edge ({u}, {v}) references unknown vertex"),
+            BuildError::SelfLoop(v) => write!(f, "self-loop on {v}"),
+            BuildError::InputWithPredecessor(v) => {
+                write!(f, "vertex {v} tagged as input but has predecessors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder accumulating vertices, edges and input/output tags, validated and
+/// frozen into a [`Cdag`] by [`CdagBuilder::build`].
+///
+/// ```
+/// use dmc_cdag::CdagBuilder;
+///
+/// let mut b = CdagBuilder::new();
+/// let x = b.add_input("x");
+/// let y = b.add_input("y");
+/// let s = b.add_op("x+y", &[x, y]);
+/// b.tag_output(s);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Default, Clone)]
+pub struct CdagBuilder {
+    labels: Vec<String>,
+    edges: Vec<(VertexId, VertexId)>,
+    input_tags: Vec<VertexId>,
+    output_tags: Vec<VertexId>,
+    dedup_edges: bool,
+}
+
+impl CdagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with vertex/edge capacity hints.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        CdagBuilder {
+            labels: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            input_tags: Vec::new(),
+            output_tags: Vec::new(),
+            dedup_edges: false,
+        }
+    }
+
+    /// When enabled, parallel duplicate edges are collapsed at `build` time.
+    /// Kernel generators that emit one edge per scalar *use* (e.g. a value
+    /// consumed twice by one op) turn this on.
+    pub fn dedup_edges(&mut self, yes: bool) -> &mut Self {
+        self.dedup_edges = yes;
+        self
+    }
+
+    /// Number of vertices added so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when no vertex has been added.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds an untagged vertex with a label; returns its id.
+    pub fn add_vertex(&mut self, label: impl Into<String>) -> VertexId {
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Adds a vertex tagged as an input.
+    pub fn add_input(&mut self, label: impl Into<String>) -> VertexId {
+        let id = self.add_vertex(label);
+        self.input_tags.push(id);
+        id
+    }
+
+    /// Adds a computational vertex with edges from every predecessor.
+    pub fn add_op(&mut self, label: impl Into<String>, preds: &[VertexId]) -> VertexId {
+        let id = self.add_vertex(label);
+        for &p in preds {
+            self.edges.push((p, id));
+        }
+        id
+    }
+
+    /// Adds the edge `(u, v)`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Tags `v` as an input (it must remain predecessor-free at build time).
+    pub fn tag_input(&mut self, v: VertexId) {
+        self.input_tags.push(v);
+    }
+
+    /// Tags `v` as an output.
+    pub fn tag_output(&mut self, v: VertexId) {
+        self.output_tags.push(v);
+    }
+
+    /// Validates and freezes the accumulated graph.
+    ///
+    /// Checks performed:
+    /// * every edge endpoint exists ([`BuildError::DanglingEdge`]),
+    /// * no self-loops ([`BuildError::SelfLoop`]),
+    /// * the edge set is acyclic ([`BuildError::Cycle`]),
+    /// * inputs are sources ([`BuildError::InputWithPredecessor`]).
+    pub fn build(mut self) -> Result<Cdag, BuildError> {
+        let n = self.labels.len() as u32;
+        for &(u, v) in &self.edges {
+            if u.0 >= n || v.0 >= n {
+                return Err(BuildError::DanglingEdge(u, v));
+            }
+            if u == v {
+                return Err(BuildError::SelfLoop(u));
+            }
+        }
+        if self.dedup_edges {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+
+        // CSR for forward adjacency via counting sort on source.
+        let nn = n as usize;
+        let mut fwd_off = vec![0u32; nn + 1];
+        let mut rev_off = vec![0u32; nn + 1];
+        for &(u, v) in &self.edges {
+            fwd_off[u.index() + 1] += 1;
+            rev_off[v.index() + 1] += 1;
+        }
+        for i in 0..nn {
+            fwd_off[i + 1] += fwd_off[i];
+            rev_off[i + 1] += rev_off[i];
+        }
+        let m = self.edges.len();
+        let mut fwd_adj = vec![VertexId(0); m];
+        let mut rev_adj = vec![VertexId(0); m];
+        let mut fwd_cursor = fwd_off.clone();
+        let mut rev_cursor = rev_off.clone();
+        for &(u, v) in &self.edges {
+            fwd_adj[fwd_cursor[u.index()] as usize] = v;
+            fwd_cursor[u.index()] += 1;
+            rev_adj[rev_cursor[v.index()] as usize] = u;
+            rev_cursor[v.index()] += 1;
+        }
+
+        // Kahn's algorithm for cycle detection.
+        let mut indeg: Vec<u32> = (0..nn)
+            .map(|i| rev_off[i + 1] - rev_off[i])
+            .collect();
+        let mut queue: Vec<u32> = (0..n).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            let (s, e) = (fwd_off[u as usize] as usize, fwd_off[u as usize + 1] as usize);
+            for &v in &fwd_adj[s..e] {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v.0);
+                }
+            }
+        }
+        if seen != nn {
+            let culprit = (0..nn).find(|&i| indeg[i] > 0).unwrap();
+            return Err(BuildError::Cycle(VertexId(culprit as u32)));
+        }
+
+        let mut inputs = BitSet::new(nn);
+        for &v in &self.input_tags {
+            if rev_off[v.index() + 1] - rev_off[v.index()] > 0 {
+                return Err(BuildError::InputWithPredecessor(v));
+            }
+            inputs.insert(v.index());
+        }
+        let mut outputs = BitSet::new(nn);
+        for &v in &self.output_tags {
+            outputs.insert(v.index());
+        }
+
+        Ok(Cdag::from_parts(
+            n, fwd_off, fwd_adj, rev_off, rev_adj, inputs, outputs, self.labels,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = CdagBuilder::new().build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = CdagBuilder::new();
+        let x = b.add_vertex("x");
+        let y = b.add_vertex("y");
+        b.add_edge(x, y);
+        b.add_edge(y, x);
+        assert!(matches!(b.build(), Err(BuildError::Cycle(_))));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut b = CdagBuilder::new();
+        let x = b.add_vertex("x");
+        b.add_edge(x, x);
+        assert_eq!(b.build().unwrap_err(), BuildError::SelfLoop(x));
+    }
+
+    #[test]
+    fn dangling_edge_detected() {
+        let mut b = CdagBuilder::new();
+        let x = b.add_vertex("x");
+        b.add_edge(x, VertexId(7));
+        assert!(matches!(b.build(), Err(BuildError::DanglingEdge(_, _))));
+    }
+
+    #[test]
+    fn input_with_predecessor_rejected() {
+        let mut b = CdagBuilder::new();
+        let x = b.add_vertex("x");
+        let y = b.add_op("y", &[x]);
+        b.tag_input(y);
+        assert_eq!(b.build().unwrap_err(), BuildError::InputWithPredecessor(y));
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let mut b = CdagBuilder::new();
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let d = b.add_op("d", &[a, c]);
+        let e = b.add_op("e", &[a, d]);
+        b.tag_output(e);
+        let g = b.build().unwrap();
+        assert_eq!(g.successors(a), &[d, e]);
+        assert_eq!(g.predecessors(e), &[a, d]);
+        assert_eq!(g.predecessors(d), &[a, c]);
+        // Every forward edge appears exactly once in reverse adjacency.
+        for (u, v) in g.edges() {
+            assert!(g.predecessors(v).contains(&u));
+        }
+    }
+
+    #[test]
+    fn dedup_edges_collapses_duplicates() {
+        let mut b = CdagBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_vertex("y = x*x");
+        b.add_edge(x, y);
+        b.add_edge(x, y);
+        b.dedup_edges(true);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_kept_without_dedup() {
+        let mut b = CdagBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_vertex("y");
+        b.add_edge(x, y);
+        b.add_edge(x, y);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,422 @@
+//! Dinic max-flow and vertex min-cuts via vertex splitting.
+//!
+//! The paper's Section 3.3 lower-bounds I/O by the size of a minimum
+//! cardinality *wavefront*, which is a **vertex** min-cut between a vertex's
+//! ancestor side and descendant side. Similarly, Hong & Kung's S-partition
+//! condition P3 asks for the size of a minimum *dominator set*, again a
+//! vertex cut between the CDAG inputs and a vertex set.
+//!
+//! Both reduce to edge max-flow by the classic vertex-splitting construction:
+//! every vertex `v` becomes an arc `v_in → v_out` whose capacity is 1 if the
+//! cut may pass through `v` and effectively infinite otherwise; every CDAG
+//! edge `(u, v)` becomes an infinite-capacity arc `u_out → v_in`. By the
+//! max-flow/min-cut theorem (Menger), the max flow equals the minimum number
+//! of cuttable vertices meeting every source→sink path.
+
+use crate::bitset::BitSet;
+use crate::graph::{Cdag, VertexId};
+
+/// Effectively-infinite arc capacity (large enough that it can never be the
+/// bottleneck of a simple-path decomposition, small enough not to overflow).
+const INF: u32 = u32::MAX / 4;
+
+/// A directed flow network with residual arcs, solved by Dinic's algorithm.
+///
+/// Arcs are stored in pairs: arc `2k` is the forward arc and `2k+1` its
+/// residual twin, so the reverse of arc `a` is `a ^ 1`.
+pub struct FlowNetwork {
+    /// `adj[v]` lists arc indices leaving `v`.
+    adj: Vec<Vec<u32>>,
+    /// Target node of each arc.
+    to: Vec<u32>,
+    /// Remaining capacity of each arc.
+    cap: Vec<u32>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed arc `u → v` with capacity `c`; returns the arc index.
+    pub fn add_arc(&mut self, u: usize, v: usize, c: u32) -> u32 {
+        let id = self.to.len() as u32;
+        self.to.push(v as u32);
+        self.cap.push(c);
+        self.to.push(u as u32);
+        self.cap.push(0);
+        self.adj[u].push(id);
+        self.adj[v].push(id + 1);
+        id
+    }
+
+    /// Computes the maximum `s → t` flow (Dinic's algorithm). Capacities are
+    /// consumed in place; call once per network.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.num_nodes();
+        let mut flow = 0u64;
+        let mut level = vec![u32::MAX; n];
+        let mut it = vec![0u32; n];
+        loop {
+            // BFS to build the level graph.
+            for l in &mut level {
+                *l = u32::MAX;
+            }
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s as u32);
+            while let Some(u) = queue.pop_front() {
+                for &a in &self.adj[u as usize] {
+                    let v = self.to[a as usize];
+                    if self.cap[a as usize] > 0 && level[v as usize] == u32::MAX {
+                        level[v as usize] = level[u as usize] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if level[t] == u32::MAX {
+                return flow;
+            }
+            for i in &mut it {
+                *i = 0;
+            }
+            // Blocking flow via iterative DFS.
+            loop {
+                let pushed = self.dfs_push(s, t, u32::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed as u64;
+            }
+        }
+    }
+
+    /// Sends up to `limit` units along one augmenting path in the level
+    /// graph; returns the amount actually pushed (0 if no path remains).
+    fn dfs_push(&mut self, s: usize, t: usize, limit: u32, level: &[u32], it: &mut [u32]) -> u32 {
+        // Iterative DFS with explicit path stack (graphs can be deep).
+        let mut path: Vec<u32> = Vec::new(); // arcs on the current path
+        let mut u = s;
+        loop {
+            if u == t {
+                // Bottleneck along the path.
+                let mut push = limit;
+                for &a in &path {
+                    push = push.min(self.cap[a as usize]);
+                }
+                for &a in &path {
+                    self.cap[a as usize] -= push;
+                    self.cap[(a ^ 1) as usize] += push;
+                }
+                return push;
+            }
+            let mut advanced = false;
+            while (it[u] as usize) < self.adj[u].len() {
+                let a = self.adj[u][it[u] as usize];
+                let v = self.to[a as usize] as usize;
+                if self.cap[a as usize] > 0 && level[v] == level[u] + 1 {
+                    path.push(a);
+                    u = v;
+                    advanced = true;
+                    break;
+                }
+                it[u] += 1;
+            }
+            if !advanced {
+                // Dead end: retreat.
+                if u == s {
+                    return 0;
+                }
+                level_retreat(&mut path, &mut u, self, it);
+            }
+        }
+    }
+
+    /// Nodes reachable from `s` in the residual network (used to extract the
+    /// min cut after [`FlowNetwork::max_flow`]).
+    pub fn residual_reachable(&self, s: usize) -> BitSet {
+        let mut seen = BitSet::new(self.num_nodes());
+        seen.insert(s);
+        let mut stack = vec![s as u32];
+        while let Some(u) = stack.pop() {
+            for &a in &self.adj[u as usize] {
+                if self.cap[a as usize] > 0 {
+                    let v = self.to[a as usize] as usize;
+                    if seen.insert(v) {
+                        stack.push(v as u32);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+fn level_retreat(path: &mut Vec<u32>, u: &mut usize, net: &FlowNetwork, it: &mut [u32]) {
+    let a = path.pop().expect("retreat with non-empty path");
+    let parent = net.to[(a ^ 1) as usize] as usize;
+    // Exhausted this arc from the parent: advance the parent's iterator.
+    it[parent] += 1;
+    *u = parent;
+}
+
+/// Result of a vertex min-cut computation.
+#[derive(Debug, Clone)]
+pub struct VertexCut {
+    /// Minimum number of cuttable vertices meeting every source→sink path.
+    pub size: usize,
+    /// One minimum cut: the vertices whose removal disconnects.
+    pub vertices: Vec<VertexId>,
+}
+
+/// Options for [`vertex_min_cut`].
+#[derive(Debug, Clone, Copy)]
+pub struct VertexCutOptions {
+    /// May the cut pass through source vertices themselves?
+    pub sources_cuttable: bool,
+    /// May the cut pass through sink vertices themselves?
+    pub sinks_cuttable: bool,
+}
+
+impl Default for VertexCutOptions {
+    fn default() -> Self {
+        VertexCutOptions {
+            sources_cuttable: true,
+            sinks_cuttable: false,
+        }
+    }
+}
+
+/// Computes a minimum vertex cut separating `sources` from `sinks` in `g`.
+///
+/// Returns `None` when no finite cut exists — i.e. some source→sink path
+/// passes only through uncuttable vertices (in particular when a vertex is
+/// both a source and a sink while marked uncuttable on either side).
+///
+/// * Wavefront use (paper §3.3): `sources = {x} ∪ Anc(x)`,
+///   `sinks = Desc(x)`, sources cuttable, sinks not — the cut is exactly a
+///   minimum schedule wavefront through `x` (including `x` itself when it
+///   has descendants).
+/// * Dominator use (Hong–Kung P3): `sources = I`, `sinks = V_i`, both
+///   cuttable — the cut is a minimum dominator set of `V_i`.
+pub fn vertex_min_cut(
+    g: &Cdag,
+    sources: &BitSet,
+    sinks: &BitSet,
+    opts: VertexCutOptions,
+) -> Option<VertexCut> {
+    let n = g.num_vertices();
+    if sources.is_empty() || sinks.is_empty() {
+        return Some(VertexCut {
+            size: 0,
+            vertices: Vec::new(),
+        });
+    }
+    // Node layout: v_in = 2v, v_out = 2v + 1, super-source = 2n, sink = 2n+1.
+    let (s, t) = (2 * n, 2 * n + 1);
+    let mut net = FlowNetwork::new(2 * n + 2);
+    for v in 0..n {
+        let is_src = sources.contains(v);
+        let is_snk = sinks.contains(v);
+        let cuttable = (!is_src || opts.sources_cuttable) && (!is_snk || opts.sinks_cuttable);
+        net.add_arc(2 * v, 2 * v + 1, if cuttable { 1 } else { INF });
+    }
+    for (u, v) in g.edges() {
+        net.add_arc(2 * u.index() + 1, 2 * v.index(), INF);
+    }
+    for v in sources.iter() {
+        net.add_arc(s, 2 * v, INF);
+    }
+    for v in sinks.iter() {
+        net.add_arc(2 * v + 1, t, INF);
+    }
+    let flow = net.max_flow(s, t);
+    if flow >= INF as u64 {
+        return None;
+    }
+    // Cut vertices: split arcs saturated across the residual reachability
+    // frontier (v_in reachable from s, v_out not).
+    let reach = net.residual_reachable(s);
+    let vertices: Vec<VertexId> = (0..n)
+        .filter(|&v| reach.contains(2 * v) && !reach.contains(2 * v + 1))
+        .map(|v| VertexId(v as u32))
+        .collect();
+    debug_assert_eq!(vertices.len() as u64, flow, "cut size must equal max flow");
+    Some(VertexCut {
+        size: flow as usize,
+        vertices,
+    })
+}
+
+/// Brute-force check that removing `cut` disconnects all `sources` from all
+/// `sinks` (vertices in `cut` are deleted entirely). Test/validation helper.
+pub fn is_separating_vertex_set(
+    g: &Cdag,
+    sources: &BitSet,
+    sinks: &BitSet,
+    cut: &[VertexId],
+) -> bool {
+    let n = g.num_vertices();
+    let mut removed = BitSet::new(n);
+    for &v in cut {
+        removed.insert(v.index());
+    }
+    let mut visited = BitSet::new(n);
+    let mut stack: Vec<VertexId> = Vec::new();
+    for sidx in sources.iter() {
+        if !removed.contains(sidx) && visited.insert(sidx) {
+            stack.push(VertexId(sidx as u32));
+        }
+    }
+    while let Some(u) = stack.pop() {
+        if sinks.contains(u.index()) {
+            return false;
+        }
+        for &w in g.successors(u) {
+            if !removed.contains(w.index()) && visited.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    // Also ensure no *source* that is itself a sink survives uncut.
+    sources
+        .iter()
+        .all(|v| !(sinks.contains(v) && !removed.contains(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdagBuilder;
+
+    fn diamond() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.add_input("a");
+        let x = b.add_op("b", &[a]);
+        let y = b.add_op("c", &[a]);
+        let d = b.add_op("d", &[x, y]);
+        b.tag_output(d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simple_max_flow() {
+        // s -> a -> t and s -> b -> t, unit caps: flow 2.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1);
+        net.add_arc(0, 2, 1);
+        net.add_arc(1, 3, 1);
+        net.add_arc(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn bottleneck_max_flow() {
+        // Two sources of capacity 3 funneled through a single cap-2 arc.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3);
+        net.add_arc(1, 2, 2);
+        net.add_arc(2, 3, 5);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn flow_with_backtracking_path() {
+        // Classic Dinic case requiring a residual reroute.
+        let mut net = FlowNetwork::new(6);
+        net.add_arc(0, 1, 1);
+        net.add_arc(0, 2, 1);
+        net.add_arc(1, 3, 1);
+        net.add_arc(2, 3, 1);
+        net.add_arc(1, 4, 1);
+        net.add_arc(3, 5, 1);
+        net.add_arc(4, 5, 1);
+        assert_eq!(net.max_flow(0, 5), 2);
+    }
+
+    #[test]
+    fn diamond_vertex_cut_is_one_at_source() {
+        let g = diamond();
+        // Separate a from d: cheapest is to cut a itself (sources cuttable).
+        let s = BitSet::from_indices(4, [0]);
+        let t = BitSet::from_indices(4, [3]);
+        let cut = vertex_min_cut(&g, &s, &t, VertexCutOptions::default()).unwrap();
+        assert_eq!(cut.size, 1);
+        assert!(is_separating_vertex_set(&g, &s, &t, &cut.vertices));
+    }
+
+    #[test]
+    fn diamond_vertex_cut_two_when_source_uncuttable() {
+        let g = diamond();
+        let s = BitSet::from_indices(4, [0]);
+        let t = BitSet::from_indices(4, [3]);
+        let opts = VertexCutOptions {
+            sources_cuttable: false,
+            sinks_cuttable: false,
+        };
+        let cut = vertex_min_cut(&g, &s, &t, opts).unwrap();
+        // Must cut both middle vertices b and c.
+        assert_eq!(cut.size, 2);
+        assert_eq!(cut.vertices, vec![VertexId(1), VertexId(2)]);
+        assert!(is_separating_vertex_set(&g, &s, &t, &cut.vertices));
+    }
+
+    #[test]
+    fn unbounded_cut_reported_none() {
+        let g = diamond();
+        let s = BitSet::from_indices(4, [0]);
+        let t = BitSet::from_indices(4, [0]); // source == sink
+        let opts = VertexCutOptions {
+            sources_cuttable: false,
+            sinks_cuttable: false,
+        };
+        assert!(vertex_min_cut(&g, &s, &t, opts).is_none());
+    }
+
+    #[test]
+    fn parallel_chains_cut_counts_width() {
+        // k disjoint chains from k sources to k sinks: min cut = k.
+        let k = 7;
+        let mut b = CdagBuilder::new();
+        let mut srcs = Vec::new();
+        let mut snks = Vec::new();
+        for i in 0..k {
+            let a = b.add_input(format!("s{i}"));
+            let m = b.add_op(format!("m{i}"), &[a]);
+            let z = b.add_op(format!("t{i}"), &[m]);
+            b.tag_output(z);
+            srcs.push(a.index());
+            snks.push(z.index());
+        }
+        let g = b.build().unwrap();
+        let s = BitSet::from_indices(g.num_vertices(), srcs);
+        let t = BitSet::from_indices(g.num_vertices(), snks);
+        let opts = VertexCutOptions {
+            sources_cuttable: false,
+            sinks_cuttable: false,
+        };
+        let cut = vertex_min_cut(&g, &s, &t, opts).unwrap();
+        assert_eq!(cut.size, k);
+        assert!(is_separating_vertex_set(&g, &s, &t, &cut.vertices));
+    }
+
+    #[test]
+    fn empty_sets_give_zero_cut() {
+        let g = diamond();
+        let e = BitSet::new(4);
+        let t = BitSet::from_indices(4, [3]);
+        let cut = vertex_min_cut(&g, &e, &t, VertexCutOptions::default()).unwrap();
+        assert_eq!(cut.size, 0);
+    }
+}

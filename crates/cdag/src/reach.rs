@@ -1,0 +1,179 @@
+//! Ancestor/descendant reachability.
+//!
+//! The convex-cut machinery of the paper (Section 3.3) anchors each cut at a
+//! vertex `x`: `Sx ⊇ {x} ∪ Anc(x)` and `Tx ⊇ Desc(x)`. These traversals are
+//! the hot inner loop of the automated min-cut wavefront heuristic, so they
+//! operate on bitsets and reuse scratch buffers where it matters.
+
+use crate::bitset::BitSet;
+use crate::graph::{Cdag, VertexId};
+
+/// Set of strict ancestors of `v` (excluding `v` itself) as a bitset.
+pub fn ancestors(g: &Cdag, v: VertexId) -> BitSet {
+    closure(g, v, Direction::Backward)
+}
+
+/// Set of strict descendants of `v` (excluding `v` itself) as a bitset.
+pub fn descendants(g: &Cdag, v: VertexId) -> BitSet {
+    closure(g, v, Direction::Forward)
+}
+
+/// Set of all vertices reachable from any seed in `seeds` (following edges
+/// forward), *including* the seeds.
+pub fn forward_closure(g: &Cdag, seeds: &BitSet) -> BitSet {
+    multi_closure(g, seeds, Direction::Forward)
+}
+
+/// Set of all vertices that can reach any seed in `seeds` (following edges
+/// backward), *including* the seeds.
+pub fn backward_closure(g: &Cdag, seeds: &BitSet) -> BitSet {
+    multi_closure(g, seeds, Direction::Backward)
+}
+
+/// `true` if a directed path `u ⇝ v` exists (including `u == v`).
+pub fn reaches(g: &Cdag, u: VertexId, v: VertexId) -> bool {
+    if u == v {
+        return true;
+    }
+    let mut visited = BitSet::new(g.num_vertices());
+    let mut stack = vec![u];
+    visited.insert(u.index());
+    while let Some(w) = stack.pop() {
+        for &s in g.successors(w) {
+            if s == v {
+                return true;
+            }
+            if visited.insert(s.index()) {
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn neighbors<'a>(g: &'a Cdag, v: VertexId, dir: Direction) -> &'a [VertexId] {
+    match dir {
+        Direction::Forward => g.successors(v),
+        Direction::Backward => g.predecessors(v),
+    }
+}
+
+fn closure(g: &Cdag, v: VertexId, dir: Direction) -> BitSet {
+    let mut out = BitSet::new(g.num_vertices());
+    let mut stack = vec![v];
+    while let Some(u) = stack.pop() {
+        for &w in neighbors(g, u, dir) {
+            if out.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+fn multi_closure(g: &Cdag, seeds: &BitSet, dir: Direction) -> BitSet {
+    let mut out = BitSet::new(g.num_vertices());
+    let mut stack: Vec<VertexId> = Vec::new();
+    for s in seeds.iter() {
+        let v = VertexId(s as u32);
+        if out.insert(s) {
+            stack.push(v);
+        }
+    }
+    while let Some(u) = stack.pop() {
+        for &w in neighbors(g, u, dir) {
+            if out.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+/// All-pairs reachability for small graphs: `result[u]` is the forward
+/// closure of `{u}` including `u`. Quadratic memory — intended for the
+/// exhaustive validators and tests, not production-size CDAGs.
+pub fn all_pairs_reachability(g: &Cdag) -> Vec<BitSet> {
+    let n = g.num_vertices();
+    let order = crate::topo::topological_order(g);
+    let mut reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    // Process in reverse topological order so successors are complete.
+    for &v in order.iter().rev() {
+        let mut r = BitSet::new(n);
+        r.insert(v.index());
+        for &s in g.successors(v) {
+            r.union_with(&reach[s.index()]);
+        }
+        reach[v.index()] = r;
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdagBuilder;
+
+    fn diamond() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.add_input("a");
+        let x = b.add_op("b", &[a]);
+        let y = b.add_op("c", &[a]);
+        let d = b.add_op("d", &[x, y]);
+        b.tag_output(d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ancestors_descendants_diamond() {
+        let g = diamond();
+        let (a, b, c, d) = (VertexId(0), VertexId(1), VertexId(2), VertexId(3));
+        assert!(ancestors(&g, a).is_empty());
+        assert_eq!(ancestors(&g, d).iter().count(), 3);
+        assert_eq!(descendants(&g, a).iter().count(), 3);
+        assert!(descendants(&g, d).is_empty());
+        assert_eq!(ancestors(&g, b).iter().collect::<Vec<_>>(), vec![a.index()]);
+        assert_eq!(descendants(&g, c).iter().collect::<Vec<_>>(), vec![d.index()]);
+    }
+
+    #[test]
+    fn reaches_works() {
+        let g = diamond();
+        let (a, b, c, d) = (VertexId(0), VertexId(1), VertexId(2), VertexId(3));
+        assert!(reaches(&g, a, d));
+        assert!(reaches(&g, a, a));
+        assert!(!reaches(&g, d, a));
+        assert!(!reaches(&g, b, c));
+    }
+
+    #[test]
+    fn closures_include_seeds() {
+        let g = diamond();
+        let seeds = BitSet::from_indices(4, [1, 2]);
+        let fwd = forward_closure(&g, &seeds);
+        assert_eq!(fwd.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let bwd = backward_closure(&g, &seeds);
+        assert_eq!(bwd.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_pairs_matches_reaches() {
+        let g = diamond();
+        let ap = all_pairs_reachability(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(
+                    ap[u.index()].contains(v.index()),
+                    reaches(&g, u, v),
+                    "mismatch for {u} -> {v}"
+                );
+            }
+        }
+    }
+}

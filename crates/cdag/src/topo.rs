@@ -1,0 +1,206 @@
+//! Topological orders, depth levels, and the critical path.
+//!
+//! A topological order of the CDAG is exactly a legal *sequential schedule*
+//! under the no-recomputation Red-Blue-White game: rule R3 fires each vertex
+//! once, after all its predecessors. The pebble-game executors in `dmc-core`
+//! consume the orders produced here.
+
+use crate::graph::{Cdag, VertexId};
+
+/// Returns a topological order of `g` (Kahn's algorithm, FIFO tie-breaking).
+///
+/// The builder guarantees acyclicity, so this always succeeds and visits all
+/// vertices.
+pub fn topological_order(g: &Cdag) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut indeg: Vec<u32> = (0..n).map(|i| g.in_degree(VertexId(i as u32)) as u32).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<VertexId> = (0..n)
+        .map(|i| VertexId(i as u32))
+        .filter(|v| indeg[v.index()] == 0)
+        .collect();
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.successors(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "builder-validated CDAG must be acyclic");
+    order
+}
+
+/// Returns a topological order that visits vertices in depth-first
+/// post-order (finishing-time order). Compared to Kahn's breadth-first
+/// order this tends to keep producer–consumer chains adjacent, which makes
+/// it a better *schedule* for the cache-simulating game executors.
+pub fn dfs_topological_order(g: &Cdag) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(VertexId, usize)> = Vec::new();
+    for root in (0..n).map(|i| VertexId(i as u32)) {
+        if state[root.index()] != 0 {
+            continue;
+        }
+        stack.push((root, 0));
+        state[root.index()] = 1;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            let succs = g.successors(u);
+            if *next < succs.len() {
+                let v = succs[*next];
+                *next += 1;
+                if state[v.index()] == 0 {
+                    state[v.index()] = 1;
+                    stack.push((v, 0));
+                }
+            } else {
+                state[u.index()] = 2;
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// `true` if `order` is a permutation of all vertices respecting every edge.
+pub fn is_valid_topological_order(g: &Cdag, order: &[VertexId]) -> bool {
+    if order.len() != g.num_vertices() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.num_vertices()];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= g.num_vertices() || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    g.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+/// Longest-path depth of each vertex: sources have depth 0, and
+/// `depth(v) = 1 + max(depth(pred))` otherwise.
+///
+/// The maximum depth + 1 is the critical-path length — a lower bound on
+/// parallel steps with unbounded processors.
+pub fn depths(g: &Cdag) -> Vec<u32> {
+    let order = topological_order(g);
+    let mut depth = vec![0u32; g.num_vertices()];
+    for &v in &order {
+        let d = g
+            .predecessors(v)
+            .iter()
+            .map(|p| depth[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        depth[v.index()] = d;
+    }
+    depth
+}
+
+/// Groups vertices by [`depths`] level: `levels()[d]` lists all vertices at
+/// depth `d`. This is the classic "level schedule" / BSP wavefront order.
+pub fn levels(g: &Cdag) -> Vec<Vec<VertexId>> {
+    let depth = depths(g);
+    let max = depth.iter().copied().max().map_or(0, |d| d as usize + 1);
+    let mut out = vec![Vec::new(); max];
+    for v in g.vertices() {
+        out[depth[v.index()] as usize].push(v);
+    }
+    out
+}
+
+/// Length (vertex count) of the longest path in `g`; 0 for an empty graph.
+pub fn critical_path_len(g: &Cdag) -> usize {
+    depths(g).iter().copied().max().map_or(0, |d| d as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdagBuilder;
+
+    fn chain(k: usize) -> Cdag {
+        let mut b = CdagBuilder::new();
+        let mut prev = b.add_input("x0");
+        for i in 1..k {
+            prev = b.add_op(format!("x{i}"), &[prev]);
+        }
+        b.tag_output(prev);
+        b.build().unwrap()
+    }
+
+    fn diamond() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.add_input("a");
+        let x = b.add_op("b", &[a]);
+        let y = b.add_op("c", &[a]);
+        let d = b.add_op("d", &[x, y]);
+        b.tag_output(d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn kahn_order_is_valid() {
+        let g = diamond();
+        let order = topological_order(&g);
+        assert!(is_valid_topological_order(&g, &order));
+    }
+
+    #[test]
+    fn dfs_order_is_valid() {
+        let g = diamond();
+        let order = dfs_topological_order(&g);
+        assert!(is_valid_topological_order(&g, &order));
+        let g = chain(50);
+        assert!(is_valid_topological_order(&g, &dfs_topological_order(&g)));
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let g = diamond();
+        // Reversed order violates edges.
+        let mut order = topological_order(&g);
+        order.reverse();
+        assert!(!is_valid_topological_order(&g, &order));
+        // Wrong length.
+        assert!(!is_valid_topological_order(&g, &order[..2]));
+        // Duplicate vertex.
+        let dup = vec![order[0], order[0], order[1], order[2]];
+        assert!(!is_valid_topological_order(&g, &dup));
+    }
+
+    #[test]
+    fn depths_on_chain_and_diamond() {
+        let g = chain(5);
+        assert_eq!(depths(&g), vec![0, 1, 2, 3, 4]);
+        assert_eq!(critical_path_len(&g), 5);
+        let g = diamond();
+        assert_eq!(depths(&g), vec![0, 1, 1, 2]);
+        assert_eq!(critical_path_len(&g), 3);
+    }
+
+    #[test]
+    fn levels_partition_all_vertices() {
+        let g = diamond();
+        let lv = levels(&g);
+        assert_eq!(lv.len(), 3);
+        assert_eq!(lv[0].len(), 1);
+        assert_eq!(lv[1].len(), 2);
+        assert_eq!(lv[2].len(), 1);
+        let total: usize = lv.iter().map(|l| l.len()).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = CdagBuilder::new().build().unwrap();
+        assert!(topological_order(&g).is_empty());
+        assert_eq!(critical_path_len(&g), 0);
+        assert!(levels(&g).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the CDAG substrate.
+//!
+//! Random layered DAGs exercise the structural invariants: CSR consistency,
+//! topological validity, reachability agreement, min-cut soundness
+//! (max-flow value is achieved by a separating set and matches Menger's
+//! bound from brute force on small instances).
+
+use dmc_cdag::bitset::BitSet;
+use dmc_cdag::builder::CdagBuilder;
+use dmc_cdag::cut::{peak_schedule_wavefront, schedule_wavefront_sizes, ConvexCut};
+use dmc_cdag::flow::{is_separating_vertex_set, vertex_min_cut, VertexCutOptions};
+use dmc_cdag::graph::{Cdag, VertexId};
+use dmc_cdag::reach::{all_pairs_reachability, reaches};
+use dmc_cdag::topo::{dfs_topological_order, is_valid_topological_order, topological_order};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG as an edge probability matrix over `n` vertices,
+/// with edges only from lower to higher index (guaranteeing acyclicity).
+fn arb_dag(max_n: usize) -> impl Strategy<Value = Cdag> {
+    (2..max_n).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let m = pairs.len();
+        (Just(n), Just(pairs), proptest::collection::vec(proptest::bool::weighted(0.3), m))
+    })
+    .prop_map(|(n, pairs, mask)| {
+        let mut b = CdagBuilder::new();
+        let ids: Vec<VertexId> = (0..n).map(|i| b.add_vertex(format!("v{i}"))).collect();
+        for ((i, j), keep) in pairs.into_iter().zip(mask) {
+            if keep {
+                b.add_edge(ids[i], ids[j]);
+            }
+        }
+        let g0 = b.clone().build().unwrap();
+        // Tag sources as inputs, sinks as outputs (Hong–Kung form).
+        for v in g0.vertices() {
+            if g0.in_degree(v) == 0 {
+                b.tag_input(v);
+            }
+            if g0.out_degree(v) == 0 {
+                b.tag_output(v);
+            }
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_forward_reverse_consistent(g in arb_dag(24)) {
+        for (u, v) in g.edges() {
+            prop_assert!(g.predecessors(v).contains(&u));
+        }
+        let fwd: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let rev: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(fwd, g.num_edges());
+        prop_assert_eq!(rev, g.num_edges());
+    }
+
+    #[test]
+    fn topological_orders_are_valid(g in arb_dag(24)) {
+        prop_assert!(is_valid_topological_order(&g, &topological_order(&g)));
+        prop_assert!(is_valid_topological_order(&g, &dfs_topological_order(&g)));
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source(g in arb_dag(16)) {
+        let ap = all_pairs_reachability(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(ap[u.index()].contains(v.index()), reaches(&g, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_cuts_are_convex_and_wavefront_matches_incremental(g in arb_dag(20)) {
+        let order = topological_order(&g);
+        let sizes = schedule_wavefront_sizes(&g, &order);
+        for k in 1..=order.len() {
+            let cut = ConvexCut::from_prefix(&g, &order[..k]);
+            prop_assert!(cut.is_valid(&g));
+            let w = cut.wavefront(&g);
+            let x = order[k - 1];
+            // Incremental size = |boundary ∪ {x}|.
+            let expected = if w.vertices.contains(&x) { w.len() } else { w.len() + 1 };
+            prop_assert_eq!(sizes[k - 1], expected);
+        }
+    }
+
+    #[test]
+    fn min_cut_is_separating_and_minimal_vs_bruteforce(g in arb_dag(10)) {
+        let n = g.num_vertices();
+        let sources: BitSet = g.inputs().clone();
+        let sinks: BitSet = g.outputs().clone();
+        prop_assume!(!sources.is_empty() && !sinks.is_empty());
+        prop_assume!(sources.is_disjoint(&sinks));
+        let opts = VertexCutOptions { sources_cuttable: true, sinks_cuttable: false };
+        if let Some(cut) = vertex_min_cut(&g, &sources, &sinks, opts) {
+            prop_assert!(is_separating_vertex_set(&g, &sources, &sinks, &cut.vertices));
+            prop_assert_eq!(cut.size, cut.vertices.len());
+            // Brute force over all subsets of cuttable vertices (n <= 10).
+            let cuttable: Vec<usize> = (0..n).filter(|&v| !sinks.contains(v)).collect();
+            let mut best = usize::MAX;
+            for mask in 0u32..(1 << cuttable.len().min(16)) {
+                let subset: Vec<VertexId> = cuttable.iter().enumerate()
+                    .filter(|(b, _)| mask & (1 << b) != 0)
+                    .map(|(_, &v)| VertexId(v as u32))
+                    .collect();
+                if subset.len() >= best { continue; }
+                if is_separating_vertex_set(&g, &sources, &sinks, &subset) {
+                    best = subset.len();
+                }
+            }
+            prop_assert_eq!(cut.size, best, "flow cut must be minimum");
+        }
+    }
+
+    #[test]
+    fn peak_wavefront_at_least_max_indegree_frontier(g in arb_dag(20)) {
+        // Any schedule must at some point hold all predecessors of the
+        // max-in-degree vertex plus possibly itself: peak >= max in-degree.
+        let order = topological_order(&g);
+        let peak = peak_schedule_wavefront(&g, &order);
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        // Just before the max-in-degree vertex fires, all its predecessors
+        // are live; and after the very first fire the wavefront is >= 1.
+        prop_assert!(peak >= max_in.max(1));
+    }
+}

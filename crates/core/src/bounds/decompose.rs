@@ -1,0 +1,181 @@
+//! Composition combinators for lower bounds (Theorems 2–4, Corollary 2).
+//!
+//! The whole point of the RBW model is that these are *sound*: per-piece
+//! bounds compose into whole-CDAG bounds, which the Hong–Kung game does
+//! not permit (Section 3's composite example).
+
+use super::{IoBound, Method};
+use dmc_cdag::subgraph::{decompose, InducedSubCdag};
+use dmc_cdag::{BitSet, Cdag};
+
+/// Theorem 2 (Decomposition): for any disjoint vertex partition of `C`
+/// into `C_1 … C_p`, `Σ IO(C_i) ≤ IO(C)`. Summing per-piece lower bounds
+/// therefore lower-bounds the whole.
+pub fn decomposition_sum(pieces: &[IoBound]) -> IoBound {
+    let total: f64 = pieces.iter().map(|b| b.value).sum();
+    IoBound::new(
+        total,
+        Method::Decomposition,
+        format!("Σ of {} sub-CDAG bounds (Theorem 2)", pieces.len()),
+    )
+}
+
+/// Splits `g` by a block assignment and returns the induced sub-CDAGs,
+/// ready for per-piece analysis + [`decomposition_sum`].
+pub fn decompose_cdag(g: &Cdag, assignment: &[usize], num_blocks: usize) -> Vec<InducedSubCdag> {
+    decompose(g, assignment, num_blocks)
+}
+
+/// Corollary 2 (Input/Output Deletion): if `C'` extends `C` with extra
+/// input vertices `dI` and output vertices `dO` (plus their edges), then
+/// `IO(C) + |dI| + |dO| ≤ IO(C')`.
+pub fn io_deletion(inner: &IoBound, d_inputs: usize, d_outputs: usize) -> IoBound {
+    IoBound::new(
+        inner.value + d_inputs as f64 + d_outputs as f64,
+        Method::IoDeletion,
+        format!(
+            "{} + |dI| = {d_inputs} + |dO| = {d_outputs} (Corollary 2)",
+            inner.detail
+        ),
+    )
+}
+
+/// Theorem 3, Equation 2 (tagging): a bound on the *more-tagged* CDAG
+/// `C' = (I ∪ dI, V, E, O ∪ dO)` transfers to `C = (I, V, E, O)` after
+/// subtracting the tag counts: `IO(C') − |dI| − |dO| ≤ IO(C)`.
+pub fn tagging_transfer(tagged_bound: &IoBound, d_inputs: usize, d_outputs: usize) -> IoBound {
+    IoBound::new(
+        tagged_bound.value - d_inputs as f64 - d_outputs as f64,
+        Method::Tagging,
+        format!(
+            "{} − |dI| = {d_inputs} − |dO| = {d_outputs} (Theorem 3)",
+            tagged_bound.detail
+        ),
+    )
+}
+
+/// Theorem 3, Equation 3 (untagging): `IO(C) ≤ IO(C')` when `C'` only adds
+/// tags — so a lower bound on the *less-tagged* CDAG is directly a lower
+/// bound on the more-tagged one.
+pub fn untagging_transfer(untagged_bound: &IoBound) -> IoBound {
+    IoBound::new(
+        untagged_bound.value,
+        Method::Tagging,
+        format!("{} (Theorem 3, untagging)", untagged_bound.detail),
+    )
+}
+
+/// Strips all input tags from `g` (outputs kept), the preparation step for
+/// Lemma-2 bounds per Theorem 3.
+pub fn untag_inputs(g: &Cdag) -> Cdag {
+    g.retag(BitSet::new(g.num_vertices()), g.outputs().clone())
+}
+
+/// Theorem 4 (Non-disjoint decomposition) in its usable form: when a CDAG
+/// is cut at a vertex set shared between consecutive phases (e.g. the
+/// vector carried from outer-loop iteration `t` to `t+1`), bounds obtained
+/// on overlapping sub-CDAGs — each including the shared frontier — may be
+/// summed. The per-phase bounds must each be computed with `S+1` pebbles
+/// for the phase containing the anchor `x` (see the paper's proof); this
+/// helper performs the bookkeeping given already-computed phase bounds.
+pub fn non_disjoint_sum(phase_bounds: &[IoBound]) -> IoBound {
+    let total: f64 = phase_bounds.iter().map(|b| b.value).sum();
+    IoBound::new(
+        total,
+        Method::Decomposition,
+        format!(
+            "Σ of {} overlapping phase bounds (Theorem 4)",
+            phase_bounds.len()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::mincut::{auto_wavefront_bound, AnchorStrategy};
+    use crate::games::optimal::{optimal_io, GameKind};
+    use dmc_kernels::chains;
+
+    #[test]
+    fn decomposition_sum_adds() {
+        let b = decomposition_sum(&[
+            IoBound::new(3.0, Method::Trivial, "x"),
+            IoBound::new(4.0, Method::Wavefront, "y"),
+        ]);
+        assert_eq!(b.value, 7.0);
+        assert_eq!(b.method, Method::Decomposition);
+    }
+
+    #[test]
+    fn decomposition_sound_on_independent_chains() {
+        // k chains: per-chain optimal I/O is 2 (load + store); the
+        // decomposition sum 2k must lower-bound the composite optimum
+        // (which is exactly 2k here).
+        let g = chains::independent_chains(3, 3);
+        let n = g.num_vertices();
+        // Assign each chain to its own block.
+        let assignment: Vec<usize> = (0..n).map(|i| i / 3).collect();
+        let pieces = decompose_cdag(&g, &assignment, 3);
+        let bounds: Vec<IoBound> = pieces.iter().map(|p| IoBound::trivial(&p.cdag)).collect();
+        let total = decomposition_sum(&bounds);
+        assert_eq!(total.value, 6.0);
+        let opt = optimal_io(&g, 2, GameKind::Rbw).unwrap();
+        assert!(total.value <= opt as f64);
+        assert_eq!(opt, 6);
+    }
+
+    #[test]
+    fn decomposition_sound_on_split_ladder() {
+        // Split a ladder into top/bottom halves; sum of wavefront bounds
+        // must not exceed the composite optimum.
+        let g = chains::ladder(3, 4);
+        let n = g.num_vertices();
+        let assignment: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+        let pieces = decompose_cdag(&g, &assignment, 2);
+        let s = 3u64;
+        let bounds: Vec<IoBound> = pieces
+            .iter()
+            .map(|p| auto_wavefront_bound(&untag_inputs(&p.cdag), s, AnchorStrategy::All))
+            .collect();
+        let total = decomposition_sum(&bounds);
+        if let Some(opt) = optimal_io(&g, s as usize, GameKind::Rbw) {
+            assert!(
+                total.value <= opt as f64,
+                "decomposition {} > optimal {opt}",
+                total.value
+            );
+        }
+    }
+
+    #[test]
+    fn tag_corrections() {
+        let inner = IoBound::new(10.0, Method::Wavefront, "w");
+        assert_eq!(io_deletion(&inner, 2, 3).value, 15.0);
+        assert_eq!(tagging_transfer(&inner, 2, 3).value, 5.0);
+        assert_eq!(untagging_transfer(&inner).value, 10.0);
+        // Over-subtraction clamps at zero.
+        assert_eq!(tagging_transfer(&inner, 20, 0).value, 0.0);
+    }
+
+    #[test]
+    fn untag_inputs_keeps_structure() {
+        let g = chains::diamond();
+        let u = untag_inputs(&g);
+        assert_eq!(u.num_inputs(), 0);
+        assert_eq!(u.num_outputs(), g.num_outputs());
+        assert_eq!(u.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn untagged_bound_transfers_soundly() {
+        // Lemma 2 on the untagged CDAG must lower-bound the tagged optimum
+        // (Theorem 3 untagging direction).
+        let g = chains::binary_reduction(4);
+        let s = 3u64; // adds have in-degree 2, so S >= 3 is required
+        let untagged = untag_inputs(&g);
+        let lb = auto_wavefront_bound(&untagged, s, AnchorStrategy::All);
+        let opt = optimal_io(&g, s as usize, GameKind::Rbw).unwrap();
+        assert!(lb.value <= opt as f64, "{} > {opt}", lb.value);
+    }
+}

@@ -1,0 +1,118 @@
+//! I/O lower-bound machinery.
+//!
+//! * [`mincut`] — Lemma 2 wavefront bounds with automated anchor sampling;
+//! * [`decompose`] — the composition combinators: Theorem 2 (disjoint
+//!   decomposition), Corollary 2 (input/output deletion), Theorem 3
+//!   (tagging/untagging) and Theorem 4 (non-disjoint decomposition);
+//! * the 2S-partition bounds (Lemma 1 / Corollary 1) live in
+//!   [`crate::partition`] next to the partition machinery and are
+//!   re-exported here.
+
+pub mod decompose;
+pub mod mincut;
+pub mod span;
+
+pub use crate::partition::{corollary1_lower_bound, lemma1_lower_bound};
+
+/// Provenance of a bound — which result of the paper produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Lemma 1 / Corollary 1 via 2S-partitions.
+    HongKung2S,
+    /// Lemma 2 via minimum wavefronts (vertex min-cut).
+    Wavefront,
+    /// Theorem 2: sum of sub-CDAG bounds.
+    Decomposition,
+    /// Theorem 3: tag-correction of a bound on a retagged CDAG.
+    Tagging,
+    /// Corollary 2: input/output deletion correction.
+    IoDeletion,
+    /// Closed-form kernel-specific bound.
+    Analytic,
+    /// Theorem 5/6: vertical parallel bound.
+    Vertical,
+    /// Theorem 7: horizontal parallel bound.
+    Horizontal,
+    /// Trivial bound: every input loaded, every output stored.
+    Trivial,
+}
+
+/// A certified I/O bound with provenance.
+#[derive(Debug, Clone)]
+pub struct IoBound {
+    /// The bound value, in words moved.
+    pub value: f64,
+    /// Which result produced it.
+    pub method: Method,
+    /// Human-readable derivation note.
+    pub detail: String,
+}
+
+impl IoBound {
+    /// Creates a bound.
+    pub fn new(value: f64, method: Method, detail: impl Into<String>) -> Self {
+        IoBound {
+            value: value.max(0.0),
+            method,
+            detail: detail.into(),
+        }
+    }
+
+    /// The trivial lower bound `|I| + |O \ I|`: every input must be loaded
+    /// at least once (inputs only acquire their white pebble via R1), and
+    /// every output that is not itself an input must be stored at least
+    /// once (inputs start blue and need no store).
+    pub fn trivial(g: &dmc_cdag::Cdag) -> Self {
+        let mut pure_outputs = g.outputs().clone();
+        pure_outputs.difference_with(g.inputs());
+        IoBound::new(
+            (g.num_inputs() + pure_outputs.len()) as f64,
+            Method::Trivial,
+            format!("|I| + |O \\ I| = {} + {}", g.num_inputs(), pure_outputs.len()),
+        )
+    }
+}
+
+/// Picks the strongest (largest) of several lower bounds.
+pub fn best_lower_bound(bounds: impl IntoIterator<Item = IoBound>) -> Option<IoBound> {
+    bounds
+        .into_iter()
+        .max_by(|a, b| a.value.partial_cmp(&b.value).expect("no NaN bounds"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_kernels::chains;
+
+    #[test]
+    fn trivial_bound_counts_tags() {
+        let g = chains::binary_reduction(8);
+        let b = IoBound::trivial(&g);
+        assert_eq!(b.value, 9.0);
+        assert_eq!(b.method, Method::Trivial);
+    }
+
+    #[test]
+    fn negative_bounds_clamped() {
+        let b = IoBound::new(-5.0, Method::Analytic, "negative");
+        assert_eq!(b.value, 0.0);
+    }
+
+    #[test]
+    fn best_picks_max() {
+        let best = best_lower_bound([
+            IoBound::new(3.0, Method::Trivial, "a"),
+            IoBound::new(10.0, Method::Wavefront, "b"),
+            IoBound::new(7.0, Method::HongKung2S, "c"),
+        ])
+        .unwrap();
+        assert_eq!(best.value, 10.0);
+        assert_eq!(best.method, Method::Wavefront);
+    }
+
+    #[test]
+    fn best_of_empty_is_none() {
+        assert!(best_lower_bound([]).is_none());
+    }
+}

@@ -1,0 +1,435 @@
+//! Heuristic game players: given a CDAG, a red-pebble budget and a
+//! topological schedule, produce a *valid* RBW game trace — hence a
+//! certified **upper bound** on I/O for that budget.
+//!
+//! The player fires vertices in schedule order. Before firing `v` it makes
+//! every predecessor red (reloading spilled values from blue), then
+//! allocates a red pebble for `v`, evicting victims chosen by the
+//! [`EvictionPolicy`]. Evicting a live value (one with remaining unfired
+//! consumers, or an unsaved output) forces a store first — the RBW game
+//! cannot recompute.
+//!
+//! Policies:
+//! * [`EvictionPolicy::Lru`] — least recently used;
+//! * [`EvictionPolicy::Belady`] — furthest next use in the given schedule
+//!   (the offline-optimal *replacement* rule — note this does not make the
+//!   whole game optimal, only the eviction decisions for the fixed order);
+//! * [`EvictionPolicy::Fifo`] — oldest resident first.
+
+use super::{GameError, GameTrace, Move};
+use dmc_cdag::topo::is_valid_topological_order;
+use dmc_cdag::{Cdag, VertexId};
+
+/// Victim-selection rule for the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used red pebble.
+    Lru,
+    /// Evict the red pebble whose next use in the schedule is furthest
+    /// away (Belady/MIN).
+    Belady,
+    /// Evict the red pebble resident the longest.
+    Fifo,
+}
+
+/// Outcome of a heuristic game.
+#[derive(Debug, Clone)]
+pub struct ExecutedGame {
+    /// The produced (valid) trace.
+    pub trace: GameTrace,
+    /// I/O cost `q` of the trace.
+    pub io: u64,
+    /// Number of forced spill-stores (stores other than final outputs).
+    pub spill_stores: u64,
+}
+
+/// Errors from the executor itself (before any game rule is broken).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The supplied schedule is not a topological order of the CDAG.
+    InvalidSchedule,
+    /// `S` is too small: firing some vertex needs `in_degree + 1` pebbles.
+    BudgetTooSmall {
+        /// The vertex that cannot be fired.
+        vertex: VertexId,
+        /// Minimum budget required for it.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidSchedule => write!(f, "schedule is not a topological order"),
+            ExecError::BudgetTooSmall { vertex, required } => {
+                write!(f, "budget too small: firing {vertex} needs {required} red pebbles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Runs the heuristic RBW player. Returns a certified-valid game whose I/O
+/// is an upper bound on `IO_S(C)` for this budget.
+pub fn execute_rbw(
+    g: &Cdag,
+    s: usize,
+    schedule: &[VertexId],
+    policy: EvictionPolicy,
+) -> Result<ExecutedGame, ExecError> {
+    if !is_valid_topological_order(g, schedule) {
+        return Err(ExecError::InvalidSchedule);
+    }
+    for &v in schedule {
+        let need = if g.is_input(v) { 1 } else { g.in_degree(v) + 1 };
+        if need > s {
+            return Err(ExecError::BudgetTooSmall { vertex: v, required: need });
+        }
+    }
+    let n = g.num_vertices();
+
+    // For Belady: positions where each vertex is *used* (consumed), in
+    // schedule order.
+    let mut pos = vec![0usize; n];
+    for (i, &v) in schedule.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let mut uses: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &v in schedule {
+        for &p in g.predecessors(v) {
+            uses[p.index()].push(pos[v.index()] as u32);
+        }
+    }
+    for u in &mut uses {
+        u.sort_unstable();
+    }
+
+    let mut sim = Simulator {
+        g,
+        s,
+        policy,
+        red: vec![false; n],
+        blue: {
+            let mut b = vec![false; n];
+            for i in g.inputs().iter() {
+                b[i] = true;
+            }
+            b
+        },
+        remaining_uses: (0..n).map(|i| uses[i].len() as u32).collect(),
+        uses,
+        next_use_cursor: vec![0; n],
+        resident: Vec::new(),
+        clock: 0,
+        last_touch: vec![0; n],
+        arrival: vec![0; n],
+        red_count: 0,
+        trace: GameTrace::default(),
+        spill_stores: 0,
+    };
+
+    for (step, &v) in schedule.iter().enumerate() {
+        sim.fire(v, step);
+    }
+    // Final: ensure all outputs are blue.
+    for v in g.vertices() {
+        if g.is_output(v) && !sim.blue[v.index()] {
+            // The output's red pebble may have been evicted — but eviction
+            // of a live output always stores first, so red or blue holds.
+            debug_assert!(sim.red[v.index()], "output {v} neither red nor blue");
+            sim.trace.moves.push(Move::Store(v));
+            sim.blue[v.index()] = true;
+        }
+    }
+    let io = sim.trace.io_count();
+    let spill_stores = sim.spill_stores;
+    Ok(ExecutedGame {
+        trace: sim.trace,
+        io,
+        spill_stores,
+    })
+}
+
+struct Simulator<'a> {
+    g: &'a Cdag,
+    s: usize,
+    policy: EvictionPolicy,
+    red: Vec<bool>,
+    blue: Vec<bool>,
+    /// Unfired consumers remaining per vertex.
+    remaining_uses: Vec<u32>,
+    /// Sorted schedule positions where each vertex is consumed.
+    uses: Vec<Vec<u32>>,
+    next_use_cursor: Vec<u32>,
+    resident: Vec<VertexId>,
+    clock: u64,
+    last_touch: Vec<u64>,
+    arrival: Vec<u64>,
+    red_count: usize,
+    trace: GameTrace,
+    spill_stores: u64,
+}
+
+impl Simulator<'_> {
+    fn fire(&mut self, v: VertexId, step: usize) {
+        // 1. Make all predecessors red (pinned for this firing).
+        let preds: Vec<VertexId> = self.g.predecessors(v).to_vec();
+        for &p in &preds {
+            if !self.red[p.index()] {
+                self.make_room(&preds, v);
+                debug_assert!(self.blue[p.index()], "spilled value {p} lost without blue");
+                self.trace.moves.push(Move::Load(p));
+                self.place_red(p);
+            }
+            self.touch(p, step);
+        }
+        // 2. Allocate v's own pebble and fire (or load, for inputs).
+        if !self.red[v.index()] {
+            self.make_room(&preds, v);
+            if self.g.is_input(v) {
+                self.trace.moves.push(Move::Load(v));
+            } else {
+                self.trace.moves.push(Move::Compute(v));
+            }
+            self.place_red(v);
+        } else if !self.g.is_input(v) {
+            // Shouldn't happen: v cannot be red before firing in RBW.
+            unreachable!("vertex {v} red before firing");
+        }
+        self.touch(v, step);
+        // 3. Retire predecessors' use counts; drop dead pebbles eagerly.
+        for &p in &preds {
+            self.remaining_uses[p.index()] -= 1;
+            self.advance_cursor(p, step);
+            if self.is_dead(p) {
+                self.evict(p, /* needs_store: */ false);
+            }
+        }
+        // If v itself is dead on arrival (no consumers, not an output) we
+        // still keep it; the final pass stores outputs and dead values
+        // simply never cost I/O. But free the pebble if it has no future.
+        if self.is_dead(v) && !self.g.is_output(v) {
+            self.evict(v, false);
+        }
+    }
+
+    fn touch(&mut self, v: VertexId, _step: usize) {
+        self.clock += 1;
+        self.last_touch[v.index()] = self.clock;
+    }
+
+    fn advance_cursor(&mut self, p: VertexId, step: usize) {
+        let c = &mut self.next_use_cursor[p.index()];
+        let u = &self.uses[p.index()];
+        while (*c as usize) < u.len() && u[*c as usize] as usize <= step {
+            *c += 1;
+        }
+    }
+
+    fn is_dead(&self, v: VertexId) -> bool {
+        self.remaining_uses[v.index()] == 0
+            && (!self.g.is_output(v) || self.blue[v.index()])
+    }
+
+    fn place_red(&mut self, v: VertexId) {
+        debug_assert!(self.red_count < self.s);
+        self.red[v.index()] = true;
+        self.red_count += 1;
+        self.clock += 1;
+        self.arrival[v.index()] = self.clock;
+        self.resident.push(v);
+    }
+
+    /// Ensures a free pebble slot, never evicting `pinned` vertices or `v`.
+    fn make_room(&mut self, pinned: &[VertexId], v: VertexId) {
+        while self.red_count >= self.s {
+            let victim = self.choose_victim(pinned, v);
+            let needs_store = !self.is_dead_or_saved(victim);
+            self.evict(victim, needs_store);
+        }
+    }
+
+    fn is_dead_or_saved(&self, u: VertexId) -> bool {
+        self.blue[u.index()]
+            || (self.remaining_uses[u.index()] == 0 && !self.g.is_output(u))
+    }
+
+    fn choose_victim(&mut self, pinned: &[VertexId], v: VertexId) -> VertexId {
+        let candidates: Vec<VertexId> = self
+            .resident
+            .iter()
+            .copied()
+            .filter(|u| *u != v && !pinned.contains(u))
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "no evictable pebble: budget {} too small for in-degree of {v}",
+            self.s
+        );
+        match self.policy {
+            EvictionPolicy::Lru => candidates
+                .into_iter()
+                .min_by_key(|u| self.last_touch[u.index()])
+                .expect("non-empty"),
+            EvictionPolicy::Fifo => candidates
+                .into_iter()
+                .min_by_key(|u| self.arrival[u.index()])
+                .expect("non-empty"),
+            EvictionPolicy::Belady => {
+                // Furthest next use; dead values are infinitely far.
+                candidates
+                    .into_iter()
+                    .max_by_key(|u| {
+                        let c = self.next_use_cursor[u.index()] as usize;
+                        let us = &self.uses[u.index()];
+                        if c >= us.len() {
+                            u32::MAX
+                        } else {
+                            us[c]
+                        }
+                    })
+                    .expect("non-empty")
+            }
+        }
+    }
+
+    fn evict(&mut self, u: VertexId, needs_store: bool) {
+        if !self.red[u.index()] {
+            return;
+        }
+        if needs_store && !self.blue[u.index()] {
+            self.trace.moves.push(Move::Store(u));
+            self.blue[u.index()] = true;
+            if self.remaining_uses[u.index()] > 0 {
+                self.spill_stores += 1;
+            }
+        }
+        self.trace.moves.push(Move::Delete(u));
+        self.red[u.index()] = false;
+        self.red_count -= 1;
+        let idx = self
+            .resident
+            .iter()
+            .position(|&x| x == u)
+            .expect("resident list consistent");
+        self.resident.swap_remove(idx);
+    }
+}
+
+/// Convenience: run the executor and certify its trace against the RBW
+/// validator, returning the certified I/O count.
+pub fn certified_upper_bound(
+    g: &Cdag,
+    s: usize,
+    schedule: &[VertexId],
+    policy: EvictionPolicy,
+) -> Result<u64, ExecError> {
+    let game = execute_rbw(g, s, schedule, policy)?;
+    let io = super::rbw::validate(g, s, &game.trace)
+        .map_err(|e: GameError| panic!("executor produced invalid game: {e}"))
+        .expect("validated");
+    Ok(io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_cdag::topo::topological_order;
+    use dmc_cdag::CdagBuilder;
+
+    fn diamond() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.add_input("a");
+        let x = b.add_op("b", &[a]);
+        let y = b.add_op("c", &[a]);
+        let d = b.add_op("d", &[x, y]);
+        b.tag_output(d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_with_ample_memory_costs_two() {
+        let g = diamond();
+        let order = topological_order(&g);
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady, EvictionPolicy::Fifo] {
+            let io = certified_upper_bound(&g, 4, &order, policy).unwrap();
+            assert_eq!(io, 2, "{policy:?}: load a + store d");
+        }
+    }
+
+    #[test]
+    fn tight_memory_forces_spills() {
+        let g = diamond();
+        let order = topological_order(&g);
+        // S = 3: firing d needs b, c, d. a must be evicted (free: it's an
+        // input). Optimal: still 2 I/O.
+        let io = certified_upper_bound(&g, 3, &order, EvictionPolicy::Belady).unwrap();
+        assert_eq!(io, 2);
+    }
+
+    #[test]
+    fn executor_output_always_validates() {
+        let g = dmc_kernels::matmul::matmul(3);
+        let order = topological_order(&g);
+        for s in [4usize, 6, 10, 32] {
+            for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady, EvictionPolicy::Fifo] {
+                let io = certified_upper_bound(&g, s, &order, policy).unwrap();
+                assert!(io >= (g.num_inputs() + g.num_outputs()) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn belady_never_worse_than_lru_on_matmul() {
+        let g = dmc_kernels::matmul::matmul(4);
+        let order = topological_order(&g);
+        for s in [6usize, 8, 16] {
+            let lru = certified_upper_bound(&g, s, &order, EvictionPolicy::Lru).unwrap();
+            let belady = certified_upper_bound(&g, s, &order, EvictionPolicy::Belady).unwrap();
+            assert!(belady <= lru, "S={s}: belady {belady} > lru {lru}");
+        }
+    }
+
+    #[test]
+    fn more_memory_never_hurts_belady() {
+        let g = dmc_kernels::fft::fft(16);
+        let order = topological_order(&g);
+        let mut prev = u64::MAX;
+        for s in [6usize, 8, 12, 24, 48] {
+            let io = certified_upper_bound(&g, s, &order, EvictionPolicy::Belady).unwrap();
+            assert!(io <= prev, "S={s}: {io} > {prev}");
+            prev = io;
+        }
+    }
+
+    #[test]
+    fn budget_too_small_detected() {
+        let g = diamond();
+        let order = topological_order(&g);
+        let err = execute_rbw(&g, 2, &order, EvictionPolicy::Lru).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn invalid_schedule_detected() {
+        let g = diamond();
+        let mut order = topological_order(&g);
+        order.reverse();
+        let err = execute_rbw(&g, 4, &order, EvictionPolicy::Lru).unwrap_err();
+        assert_eq!(err, ExecError::InvalidSchedule);
+    }
+
+    #[test]
+    fn io_lower_bounded_by_inputs_plus_outputs() {
+        // With all 2n inputs resident (S >= 2n + 1), the outer product
+        // costs exactly 2n loads + n² stores.
+        let g = dmc_kernels::outer::outer_product(5);
+        let order = topological_order(&g);
+        let io = certified_upper_bound(&g, 16, &order, EvictionPolicy::Belady).unwrap();
+        assert_eq!(io, dmc_kernels::outer::outer_product_exact_io(5));
+        // Under pressure (S = 8 < 2n + 1) inputs get reloaded: io grows.
+        let tight = certified_upper_bound(&g, 8, &order, EvictionPolicy::Belady).unwrap();
+        assert!(tight >= io);
+    }
+}

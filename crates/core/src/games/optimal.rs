@@ -1,0 +1,287 @@
+//! Exact optimal-I/O search for tiny CDAGs.
+//!
+//! Dijkstra over pebbling configurations: I/O moves (R1/R2) cost 1,
+//! compute/delete moves cost 0. States pack the red/blue/white sets into
+//! `u64` bitmasks, so graphs up to 24-ish vertices are tractable for small
+//! budgets. This is the ground truth the test suite validates every lower
+//! bound (and heuristic upper bound) against:
+//! `LB ≤ optimal ≤ heuristic` on every instance.
+
+use dmc_cdag::Cdag;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+const MAX_N: usize = 24;
+
+/// Which game's rules to search under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GameKind {
+    /// Hong–Kung red-blue (recomputation allowed).
+    HongKung,
+    /// Red-Blue-White (no recomputation).
+    Rbw,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    red: u32,
+    blue: u32,
+    /// Fired set (white pebbles). Under Hong–Kung rules this tracks
+    /// "has ever been computed" purely to know when outputs are real; it
+    /// does not restrict recomputation.
+    white: u32,
+}
+
+/// Computes the exact minimum I/O of a complete game on `g` with `s` red
+/// pebbles. Returns `None` if the instance exceeds the solver's size limit
+/// or no complete game exists for this budget (e.g. `s < in_degree + 1`).
+pub fn optimal_io(g: &Cdag, s: usize, kind: GameKind) -> Option<u64> {
+    let n = g.num_vertices();
+    if n > MAX_N || n == 0 {
+        return None;
+    }
+    let all: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let inputs: u32 = g
+        .vertices()
+        .filter(|&v| g.is_input(v))
+        .fold(0, |m, v| m | (1 << v.0));
+    let outputs: u32 = g
+        .vertices()
+        .filter(|&v| g.is_output(v))
+        .fold(0, |m, v| m | (1 << v.0));
+    let preds: Vec<u32> = g
+        .vertices()
+        .map(|v| g.predecessors(v).iter().fold(0u32, |m, p| m | (1 << p.0)))
+        .collect();
+
+    let start = State {
+        red: 0,
+        blue: inputs,
+        white: 0,
+    };
+    let goal = |st: &State| -> bool {
+        // Complete: all outputs blue; RBW additionally requires all fired.
+        (st.blue & outputs) == outputs
+            && match kind {
+                GameKind::Rbw => st.white == all,
+                GameKind::HongKung => {
+                    // Hong–Kung completeness: blue on outputs suffices;
+                    // but a blue output can only arise from a store of a
+                    // computed red, which `white` tracks. All other
+                    // vertices need not fire.
+                    true
+                }
+            }
+    };
+
+    let mut dist: HashMap<State, u64> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u32)>> = BinaryHeap::new();
+    dist.insert(start, 0);
+    heap.push(Reverse((0, start.red, start.blue, start.white)));
+
+    while let Some(Reverse((d, red, blue, white))) = heap.pop() {
+        let st = State { red, blue, white };
+        if dist.get(&st).copied() != Some(d) {
+            continue; // stale entry
+        }
+        if goal(&st) {
+            return Some(d);
+        }
+        let red_count = red.count_ones() as usize;
+        let push = |nst: State, nd: u64, dist: &mut HashMap<State, u64>,
+                        heap: &mut BinaryHeap<Reverse<(u64, u32, u32, u32)>>| {
+            let best = dist.entry(nst).or_insert(u64::MAX);
+            if nd < *best {
+                *best = nd;
+                heap.push(Reverse((nd, nst.red, nst.blue, nst.white)));
+            }
+        };
+
+        for v in 0..n as u32 {
+            let bit = 1u32 << v;
+            // R3 compute.
+            let computable = (inputs & bit) == 0
+                && (preds[v as usize] & red) == preds[v as usize]
+                && (red & bit == 0)
+                && red_count < s
+                && match kind {
+                    GameKind::Rbw => white & bit == 0,
+                    GameKind::HongKung => true,
+                };
+            if computable {
+                push(
+                    State {
+                        red: red | bit,
+                        blue,
+                        white: white | bit,
+                    },
+                    d,
+                    &mut dist,
+                    &mut heap,
+                );
+            }
+            // R1 load.
+            if blue & bit != 0 && red & bit == 0 && red_count < s {
+                push(
+                    State {
+                        red: red | bit,
+                        blue,
+                        white: white | bit,
+                    },
+                    d + 1,
+                    &mut dist,
+                    &mut heap,
+                );
+            }
+            // R2 store.
+            if red & bit != 0 && blue & bit == 0 {
+                push(
+                    State {
+                        red,
+                        blue: blue | bit,
+                        white,
+                    },
+                    d + 1,
+                    &mut dist,
+                    &mut heap,
+                );
+            }
+            // R4 delete.
+            if red & bit != 0 {
+                push(
+                    State {
+                        red: red & !bit,
+                        blue,
+                        white,
+                    },
+                    d,
+                    &mut dist,
+                    &mut heap,
+                );
+            }
+        }
+    }
+    None
+}
+
+/// The exact minimum number of red pebbles for which *any* complete RBW
+/// game exists with zero spill I/O beyond the mandatory input loads and
+/// output stores — found by binary search over `optimal_io`.
+pub fn min_pebbles_for_baseline_io(g: &Cdag, s_max: usize) -> Option<usize> {
+    let baseline = (g.num_inputs() + g.num_outputs()) as u64;
+    let mut lo = 1usize;
+    let mut hi = s_max;
+    let mut ans = None;
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        match optimal_io(g, mid, GameKind::Rbw) {
+            Some(io) if io <= baseline => {
+                ans = Some(mid);
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            }
+            _ => lo = mid + 1,
+        }
+    }
+    ans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_cdag::CdagBuilder;
+    use dmc_kernels::chains;
+
+    #[test]
+    fn chain_optimum_is_two() {
+        let g = chains::chain(6);
+        assert_eq!(optimal_io(&g, 2, GameKind::Rbw), Some(2));
+        assert_eq!(optimal_io(&g, 2, GameKind::HongKung), Some(2));
+    }
+
+    #[test]
+    fn diamond_optimum() {
+        let g = chains::diamond();
+        assert_eq!(optimal_io(&g, 3, GameKind::Rbw), Some(2));
+        // S = 2 forces spills of b or c under RBW (d needs both red).
+        let rbw2 = optimal_io(&g, 2, GameKind::Rbw);
+        assert!(rbw2.is_none() || rbw2.unwrap() > 2);
+    }
+
+    #[test]
+    fn hong_kung_never_worse_than_rbw() {
+        // Recomputation can only help.
+        for g in [chains::diamond(), chains::two_stage(3), chains::ladder(3, 3)] {
+            for s in 3..=5 {
+                let hk = optimal_io(&g, s, GameKind::HongKung);
+                let rbw = optimal_io(&g, s, GameKind::Rbw);
+                if let (Some(hk), Some(rbw)) = (hk, rbw) {
+                    assert!(hk <= rbw, "S={s}: HK {hk} > RBW {rbw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_pebbles_never_hurt() {
+        let g = chains::ladder(3, 3);
+        let mut prev = u64::MAX;
+        for s in 3..=7 {
+            if let Some(io) = optimal_io(&g, s, GameKind::Rbw) {
+                assert!(io <= prev);
+                prev = io;
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_meets_baseline_with_enough_pebbles() {
+        // With S >= peak wavefront, I/O = |I| + |O| exactly.
+        let g = chains::binary_reduction(4);
+        let io = optimal_io(&g, 7, GameKind::Rbw).unwrap();
+        assert_eq!(io, 4 + 1);
+    }
+
+    #[test]
+    fn min_pebbles_search() {
+        let g = chains::diamond();
+        // Needs 3 pebbles to avoid spilling (d has in-degree 2).
+        assert_eq!(min_pebbles_for_baseline_io(&g, 6), Some(3));
+    }
+
+    #[test]
+    fn untagged_source_needs_no_load() {
+        let mut b = CdagBuilder::new();
+        let f = b.add_vertex("free");
+        let z = b.add_op("z", &[f]);
+        b.tag_output(z);
+        let g = b.build().unwrap();
+        // Only the output store costs I/O.
+        assert_eq!(optimal_io(&g, 2, GameKind::Rbw), Some(1));
+    }
+
+    #[test]
+    fn oversized_graphs_refused() {
+        let g = dmc_kernels::matmul::matmul(3);
+        assert!(optimal_io(&g, 4, GameKind::Rbw).is_none());
+    }
+
+    #[test]
+    fn recomputation_beats_rbw_on_fanout_under_pressure() {
+        // One free source feeding two chains: HK can recompute the source,
+        // RBW must spill it. two_stage(2): f -> {a, b} -> g.
+        let mut bd = CdagBuilder::new();
+        let f = bd.add_vertex("f");
+        let a = bd.add_op("a", &[f]);
+        let b2 = bd.add_op("b", &[f]);
+        let z = bd.add_op("z", &[a, b2]);
+        bd.tag_output(z);
+        let g = bd.build().unwrap();
+        let hk = optimal_io(&g, 3, GameKind::HongKung).unwrap();
+        let rbw = optimal_io(&g, 3, GameKind::Rbw).unwrap();
+        assert!(hk <= rbw);
+        assert_eq!(hk, 1, "HK: store z only");
+    }
+}

@@ -1,0 +1,638 @@
+//! The Parallel Red-Blue-White pebble game (Definition 6).
+//!
+//! Pebbles come in *shades*: one shade per storage unit per level of a
+//! [`MemoryHierarchy`]. Shade `(l, j)` has `S_l` pebbles available. The
+//! rules (R1–R7) move values down the hierarchy toward processors
+//! (R4 "move up" in the paper's toward-level-1 sense), write them back
+//! (R5 "move down"), transfer between nodes (R3 remote get) and to/from
+//! the unbounded blue store (R1/R2).
+//!
+//! The validator replays a [`PrbwTrace`] and produces [`PrbwStats`]:
+//! per-unit vertical traffic (R4 reads out of a unit + R5 writebacks into
+//! it) and per-node horizontal traffic (R3 remote gets), which the
+//! parallel bounds of Theorems 5–7 are checked against.
+
+use dmc_cdag::{BitSet, Cdag, VertexId};
+use dmc_machine::MemoryHierarchy;
+use std::collections::HashMap;
+
+/// A storage unit: level (1-based, as in the paper) and unit index within
+/// the level (`0 .. N_l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Unit {
+    /// 1-based hierarchy level.
+    pub level: usize,
+    /// Unit index within the level.
+    pub index: usize,
+}
+
+impl Unit {
+    /// Creates a unit handle.
+    pub fn new(level: usize, index: usize) -> Self {
+        Unit { level, index }
+    }
+}
+
+/// One move of the parallel game (rule numbers from Definition 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrbwMove {
+    /// R1 — load: place a level-L pebble of `unit` on a blue vertex.
+    Input {
+        /// Target vertex.
+        v: VertexId,
+        /// Level-L unit receiving the value.
+        unit: usize,
+    },
+    /// R2 — store: place a blue pebble on a vertex holding a level-L
+    /// pebble of `unit`.
+    Output {
+        /// Target vertex.
+        v: VertexId,
+        /// Level-L unit sourcing the value.
+        unit: usize,
+    },
+    /// R3 — remote get: copy a value between two level-L units.
+    RemoteGet {
+        /// Target vertex.
+        v: VertexId,
+        /// Receiving level-L unit.
+        to: usize,
+        /// Sending level-L unit (must already hold the value).
+        from: usize,
+    },
+    /// R4 — move up (toward the processor): place a level-`l` pebble on a
+    /// vertex holding a level-`l+1` pebble of the parent unit.
+    MoveUp {
+        /// Target vertex.
+        v: VertexId,
+        /// Receiving unit (level < L).
+        to: Unit,
+    },
+    /// R5 — move down (away from the processor): place a level-`l` pebble
+    /// on a vertex holding a level-`l−1` pebble of a child unit.
+    MoveDown {
+        /// Target vertex.
+        v: VertexId,
+        /// Receiving unit (level > 1).
+        to: Unit,
+    },
+    /// R6 — compute: fire `v` on processor `proc` (all predecessors must
+    /// hold level-1 pebbles of `proc`).
+    Compute {
+        /// Fired vertex.
+        v: VertexId,
+        /// Executing processor (level-1 unit index).
+        proc: usize,
+    },
+    /// R7 — delete a pebble of the given shade.
+    Delete {
+        /// Target vertex.
+        v: VertexId,
+        /// Shade to remove.
+        unit: Unit,
+    },
+}
+
+/// A complete recorded parallel game.
+#[derive(Debug, Clone, Default)]
+pub struct PrbwTrace {
+    /// Moves in play order.
+    pub moves: Vec<PrbwMove>,
+}
+
+/// Violations of the parallel rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrbwError {
+    /// A unit index is out of range for its level.
+    BadUnit(Unit),
+    /// R1 on a vertex without a blue pebble.
+    LoadWithoutBlue(VertexId),
+    /// R2/R3 source unit does not hold the value.
+    MissingSourcePebble(VertexId, Unit),
+    /// R4/R5 with a source unit that is not a child/parent of the target.
+    NotRelated {
+        /// Move target vertex.
+        v: VertexId,
+        /// The receiving unit.
+        to: Unit,
+    },
+    /// Shade capacity `S_l` exceeded.
+    CapacityExceeded(Unit),
+    /// R6 with some predecessor lacking a level-1 pebble of the processor.
+    ComputeWithoutPreds(VertexId, usize),
+    /// R6 on an already-fired vertex.
+    Recompute(VertexId),
+    /// R6 on an input vertex.
+    ComputeInput(VertexId),
+    /// R7 on a shade the vertex does not hold.
+    DeleteMissing(VertexId, Unit),
+    /// Completion: some vertex never fired.
+    Unfired(VertexId),
+    /// Completion: some output lacks a blue pebble.
+    OutputNotStored(VertexId),
+}
+
+/// Traffic statistics of a validated parallel game.
+#[derive(Debug, Clone, Default)]
+pub struct PrbwStats {
+    /// R1 loads per level-L unit.
+    pub loads: HashMap<usize, u64>,
+    /// R2 stores per level-L unit.
+    pub stores: HashMap<usize, u64>,
+    /// R3 remote gets received per level-L unit.
+    pub remote_gets: HashMap<usize, u64>,
+    /// R4 transitions *sourced from* each unit (reads toward processors).
+    pub reads_from: HashMap<Unit, u64>,
+    /// R5 transitions *into* each unit (writebacks).
+    pub writebacks_into: HashMap<Unit, u64>,
+    /// R6 computes per processor.
+    pub computes: HashMap<usize, u64>,
+}
+
+impl PrbwStats {
+    /// Vertical traffic at `unit`: R4 reads out of it plus R5 writebacks
+    /// into it (words crossing the unit↔children link).
+    pub fn vertical_traffic(&self, unit: Unit) -> u64 {
+        self.reads_from.get(&unit).copied().unwrap_or(0)
+            + self.writebacks_into.get(&unit).copied().unwrap_or(0)
+    }
+
+    /// Maximum vertical traffic over all units at `level` (the paper's
+    /// "storage with the maximum number of transitions").
+    pub fn max_vertical_traffic_at_level(&self, level: usize, units: usize) -> u64 {
+        (0..units)
+            .map(|i| self.vertical_traffic(Unit::new(level, i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Horizontal traffic received by level-L unit `i`.
+    pub fn horizontal_traffic(&self, i: usize) -> u64 {
+        self.remote_gets.get(&i).copied().unwrap_or(0)
+    }
+
+    /// Total remote gets across all nodes.
+    pub fn total_horizontal(&self) -> u64 {
+        self.remote_gets.values().sum()
+    }
+
+    /// Computes performed by the busiest processor.
+    pub fn max_computes(&self) -> u64 {
+        self.computes.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Replay state of the parallel game.
+pub struct PrbwState<'a> {
+    g: &'a Cdag,
+    h: &'a MemoryHierarchy,
+    /// `pebbles[v]` — shades currently on vertex `v`.
+    pebbles: Vec<Vec<Unit>>,
+    /// Occupancy per shade.
+    occupancy: HashMap<Unit, u64>,
+    blue: BitSet,
+    white: BitSet,
+    stats: PrbwStats,
+}
+
+impl<'a> PrbwState<'a> {
+    /// Initial state: blue on inputs, no red pebbles anywhere.
+    pub fn initial(g: &'a Cdag, h: &'a MemoryHierarchy) -> Self {
+        PrbwState {
+            g,
+            h,
+            pebbles: vec![Vec::new(); g.num_vertices()],
+            occupancy: HashMap::new(),
+            blue: g.inputs().clone(),
+            white: BitSet::new(g.num_vertices()),
+            stats: PrbwStats::default(),
+        }
+    }
+
+    fn check_unit(&self, u: Unit) -> Result<(), PrbwError> {
+        if u.level < 1 || u.level > self.h.num_levels() || u.index >= self.h.units(u.level) {
+            return Err(PrbwError::BadUnit(u));
+        }
+        Ok(())
+    }
+
+    fn has(&self, v: VertexId, u: Unit) -> bool {
+        self.pebbles[v.index()].contains(&u)
+    }
+
+    /// Parent unit of `u` at level `u.level + 1`.
+    fn parent(&self, u: Unit) -> Unit {
+        let fanout = self.h.units(u.level) / self.h.units(u.level + 1);
+        Unit::new(u.level + 1, u.index / fanout)
+    }
+
+    fn place(&mut self, v: VertexId, u: Unit) -> Result<(), PrbwError> {
+        if self.has(v, u) {
+            return Ok(()); // idempotent
+        }
+        let occ = self.occupancy.entry(u).or_insert(0);
+        if *occ >= self.h.capacity(u.level) {
+            return Err(PrbwError::CapacityExceeded(u));
+        }
+        *occ += 1;
+        self.pebbles[v.index()].push(u);
+        Ok(())
+    }
+
+    /// Applies one move, enforcing rules R1–R7.
+    pub fn apply(&mut self, mv: PrbwMove) -> Result<(), PrbwError> {
+        let top = self.h.num_levels();
+        match mv {
+            PrbwMove::Input { v, unit } => {
+                let u = Unit::new(top, unit);
+                self.check_unit(u)?;
+                if !self.blue.contains(v.index()) {
+                    return Err(PrbwError::LoadWithoutBlue(v));
+                }
+                self.place(v, u)?;
+                self.white.insert(v.index());
+                *self.stats.loads.entry(unit).or_insert(0) += 1;
+            }
+            PrbwMove::Output { v, unit } => {
+                let u = Unit::new(top, unit);
+                self.check_unit(u)?;
+                if !self.has(v, u) {
+                    return Err(PrbwError::MissingSourcePebble(v, u));
+                }
+                self.blue.insert(v.index());
+                *self.stats.stores.entry(unit).or_insert(0) += 1;
+            }
+            PrbwMove::RemoteGet { v, to, from } => {
+                let (ut, uf) = (Unit::new(top, to), Unit::new(top, from));
+                self.check_unit(ut)?;
+                self.check_unit(uf)?;
+                if !self.has(v, uf) {
+                    return Err(PrbwError::MissingSourcePebble(v, uf));
+                }
+                self.place(v, ut)?;
+                *self.stats.remote_gets.entry(to).or_insert(0) += 1;
+            }
+            PrbwMove::MoveUp { v, to } => {
+                self.check_unit(to)?;
+                if to.level >= top {
+                    return Err(PrbwError::NotRelated { v, to });
+                }
+                let parent = self.parent(to);
+                if !self.has(v, parent) {
+                    return Err(PrbwError::NotRelated { v, to });
+                }
+                self.place(v, to)?;
+                *self.stats.reads_from.entry(parent).or_insert(0) += 1;
+            }
+            PrbwMove::MoveDown { v, to } => {
+                self.check_unit(to)?;
+                if to.level <= 1 {
+                    return Err(PrbwError::NotRelated { v, to });
+                }
+                // Some child of `to` must hold the value.
+                let child = self.pebbles[v.index()]
+                    .iter()
+                    .copied()
+                    .find(|u| u.level == to.level - 1 && self.parent(*u) == to);
+                if child.is_none() {
+                    return Err(PrbwError::NotRelated { v, to });
+                }
+                self.place(v, to)?;
+                *self.stats.writebacks_into.entry(to).or_insert(0) += 1;
+            }
+            PrbwMove::Compute { v, proc } => {
+                let u1 = Unit::new(1, proc);
+                self.check_unit(u1)?;
+                if self.g.is_input(v) {
+                    return Err(PrbwError::ComputeInput(v));
+                }
+                if self.white.contains(v.index()) {
+                    return Err(PrbwError::Recompute(v));
+                }
+                for &p in self.g.predecessors(v) {
+                    if !self.has(p, u1) {
+                        return Err(PrbwError::ComputeWithoutPreds(v, proc));
+                    }
+                }
+                self.place(v, u1)?;
+                self.white.insert(v.index());
+                *self.stats.computes.entry(proc).or_insert(0) += 1;
+            }
+            PrbwMove::Delete { v, unit } => {
+                self.check_unit(unit)?;
+                let list = &mut self.pebbles[v.index()];
+                match list.iter().position(|&u| u == unit) {
+                    Some(i) => {
+                        list.swap_remove(i);
+                        *self.occupancy.get_mut(&unit).expect("occupied") -= 1;
+                    }
+                    None => return Err(PrbwError::DeleteMissing(v, unit)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Completion check: white everywhere, blue on outputs.
+    pub fn check_complete(&self) -> Result<(), PrbwError> {
+        for v in self.g.vertices() {
+            if !self.white.contains(v.index()) {
+                return Err(PrbwError::Unfired(v));
+            }
+        }
+        for v in self.g.vertices() {
+            if self.g.is_output(v) && !self.blue.contains(v.index()) {
+                return Err(PrbwError::OutputNotStored(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &PrbwStats {
+        &self.stats
+    }
+}
+
+/// Replays a parallel trace; returns the traffic statistics of the
+/// complete game or the first violation.
+pub fn validate(g: &Cdag, h: &MemoryHierarchy, trace: &PrbwTrace) -> Result<PrbwStats, PrbwError> {
+    let mut st = PrbwState::initial(g, h);
+    for &mv in &trace.moves {
+        st.apply(mv)?;
+    }
+    st.check_complete()?;
+    Ok(st.stats.clone())
+}
+
+/// A simple owner-computes parallel executor for a hierarchy whose level-1
+/// units are per-processor stores and whose top level is per-node memory.
+///
+/// `owner[v]` assigns each vertex to a processor. Vertices are fired in
+/// the given topological order; each firing pulls predecessors down to the
+/// owner's level-1 unit (via remote gets when the value lives on another
+/// node, counted per Theorem 7), and written values are pushed back up so
+/// they survive level-1 eviction (everything is written back eagerly —
+/// this is an *upper-bound* strategy, not an optimal one).
+pub fn execute_owner_computes(
+    g: &Cdag,
+    h: &MemoryHierarchy,
+    order: &[VertexId],
+    owner: &[usize],
+) -> Result<PrbwStats, PrbwError> {
+    assert_eq!(owner.len(), g.num_vertices());
+    let top = h.num_levels();
+    let procs_per_node = h.processors() / h.units(top);
+    let node_of = |proc: usize| proc / procs_per_node;
+    let mut trace = PrbwTrace::default();
+    // home[v]: the level-L unit currently holding v's value (after
+    // writeback), or usize::MAX if not yet materialized at level L.
+    let mut home = vec![usize::MAX; g.num_vertices()];
+    // Values resident in each processor's level-1 unit, FIFO for eviction.
+    let mut resident: Vec<Vec<VertexId>> = vec![Vec::new(); h.processors()];
+    let s1 = h.capacity(1) as usize;
+
+    for &v in order {
+        let p = owner[v.index()];
+        let node = node_of(p);
+        let pull_budget_users = g.in_degree(v) + 1;
+        assert!(
+            pull_budget_users <= s1,
+            "level-1 capacity too small for in-degree of {v}"
+        );
+        // Evict until preds + v fit (write-backs already done eagerly).
+        let preds: Vec<VertexId> = g.predecessors(v).to_vec();
+        let mut evictable: Vec<VertexId> = resident[p]
+            .iter()
+            .copied()
+            .filter(|u| !preds.contains(u) && *u != v)
+            .collect();
+        let mut free = s1 - resident[p].len();
+        let need: usize = preds.iter().filter(|q| !resident[p].contains(q)).count()
+            + usize::from(!resident[p].contains(&v));
+        while free < need {
+            let victim = evictable.pop().expect("capacity checked above");
+            trace.moves.push(PrbwMove::Delete {
+                v: victim,
+                unit: Unit::new(1, p),
+            });
+            let pos = resident[p].iter().position(|&x| x == victim).expect("resident");
+            resident[p].swap_remove(pos);
+            free += 1;
+        }
+        // Pull predecessors to (1, p).
+        for &q in &preds {
+            if resident[p].contains(&q) {
+                continue;
+            }
+            // Materialize at level L on this node.
+            if home[q.index()] == usize::MAX {
+                // Must be an input: load from blue.
+                trace.moves.push(PrbwMove::Input { v: q, unit: node });
+                home[q.index()] = node;
+            } else if home[q.index()] != node {
+                trace.moves.push(PrbwMove::RemoteGet {
+                    v: q,
+                    to: node,
+                    from: home[q.index()],
+                });
+            }
+            // Walk the value down the hierarchy: level L-1 .. 1.
+            push_down_path(&mut trace, h, q, p, node);
+            resident[p].push(q);
+        }
+        // Fire v.
+        if g.is_input(v) {
+            if home[v.index()] == usize::MAX {
+                trace.moves.push(PrbwMove::Input { v, unit: node });
+                home[v.index()] = node;
+            } else if home[v.index()] != node {
+                trace.moves.push(PrbwMove::RemoteGet {
+                    v,
+                    to: node,
+                    from: home[v.index()],
+                });
+            }
+            push_down_path(&mut trace, h, v, p, node);
+        } else {
+            trace.moves.push(PrbwMove::Compute { v, proc: p });
+            // Eagerly write back up the hierarchy to level L.
+            push_up_path(&mut trace, h, v, p);
+            home[v.index()] = node;
+        }
+        if !resident[p].contains(&v) {
+            resident[p].push(v);
+        }
+        if g.is_output(v) {
+            trace.moves.push(PrbwMove::Output { v, unit: node });
+        }
+    }
+    validate(g, h, &trace)
+}
+
+/// Emits MoveUp moves materializing `v` from node memory down to processor
+/// `p`'s level-1 unit. Intermediate-level pebbles (levels `2..L`) are
+/// pass-through: placed then immediately deleted, so only the per-level
+/// *traffic* is accounted, not persistent occupancy.
+fn push_down_path(trace: &mut PrbwTrace, h: &MemoryHierarchy, v: VertexId, p: usize, _node: usize) {
+    // Unit indices along the path from level L down to level 1 follow the
+    // processor's ancestry.
+    for level in (1..h.num_levels()).rev() {
+        let unit = p / (h.processors() / h.units(level));
+        trace.moves.push(PrbwMove::MoveUp {
+            v,
+            to: Unit::new(level, unit),
+        });
+    }
+    for level in 2..h.num_levels() {
+        let unit = p / (h.processors() / h.units(level));
+        trace.moves.push(PrbwMove::Delete {
+            v,
+            unit: Unit::new(level, unit),
+        });
+    }
+}
+
+/// Emits MoveDown moves writing `v` back from processor `p` to level L,
+/// deleting the transient intermediate-level copies afterwards.
+fn push_up_path(trace: &mut PrbwTrace, h: &MemoryHierarchy, v: VertexId, p: usize) {
+    for level in 2..=h.num_levels() {
+        let unit = p / (h.processors() / h.units(level));
+        trace.moves.push(PrbwMove::MoveDown {
+            v,
+            to: Unit::new(level, unit),
+        });
+    }
+    for level in 2..h.num_levels() {
+        let unit = p / (h.processors() / h.units(level));
+        trace.moves.push(PrbwMove::Delete {
+            v,
+            unit: Unit::new(level, unit),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_cdag::topo::topological_order;
+    use dmc_kernels::chains;
+    use dmc_machine::MemoryHierarchy;
+
+    fn small_machine() -> MemoryHierarchy {
+        // 2 nodes × 2 procs; 8 words per proc at level 1; big node memory.
+        MemoryHierarchy::new(vec![
+            dmc_machine::Level::new("regs", 4, 8),
+            dmc_machine::Level::new("mem", 2, 1 << 20),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_style_game_validates() {
+        let g = chains::chain(4);
+        let h = small_machine();
+        let order = topological_order(&g);
+        let owner = vec![0usize; g.num_vertices()];
+        let stats = execute_owner_computes(&g, &h, &order, &owner).unwrap();
+        // All on one processor: no remote gets.
+        assert_eq!(stats.total_horizontal(), 0);
+        assert_eq!(stats.computes.get(&0).copied().unwrap_or(0), 3);
+    }
+
+    #[test]
+    fn cross_node_dependences_cost_remote_gets() {
+        let g = chains::chain(4);
+        let h = small_machine();
+        let order = topological_order(&g);
+        // Alternate ownership between processors on *different* nodes
+        // (procs 0 and 2 live on nodes 0 and 1).
+        let owner: Vec<usize> = (0..g.num_vertices()).map(|i| (i % 2) * 2).collect();
+        let stats = execute_owner_computes(&g, &h, &order, &owner).unwrap();
+        // Every chain edge crosses nodes: 3 remote gets.
+        assert_eq!(stats.total_horizontal(), 3);
+    }
+
+    #[test]
+    fn same_node_sharing_is_free_horizontally() {
+        let g = chains::chain(4);
+        let h = small_machine();
+        let order = topological_order(&g);
+        // Procs 0 and 1 share node 0.
+        let owner: Vec<usize> = (0..g.num_vertices()).map(|i| i % 2).collect();
+        let stats = execute_owner_computes(&g, &h, &order, &owner).unwrap();
+        assert_eq!(stats.total_horizontal(), 0);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let g = chains::chain(3);
+        let h = MemoryHierarchy::new(vec![
+            dmc_machine::Level::new("regs", 1, 1),
+            dmc_machine::Level::new("mem", 1, 100),
+        ])
+        .unwrap();
+        let mut st = PrbwState::initial(&g, &h);
+        st.apply(PrbwMove::Input { v: VertexId(0), unit: 0 }).unwrap();
+        st.apply(PrbwMove::MoveUp { v: VertexId(0), to: Unit::new(1, 0) })
+            .unwrap();
+        // Second value cannot fit at level 1 (capacity 1).
+        st.apply(PrbwMove::Compute { v: VertexId(1), proc: 0 })
+            .map(|_| ())
+            .unwrap_err();
+    }
+
+    #[test]
+    fn remote_get_requires_source_pebble() {
+        let g = chains::chain(2);
+        let h = small_machine();
+        let mut st = PrbwState::initial(&g, &h);
+        let err = st
+            .apply(PrbwMove::RemoteGet { v: VertexId(0), to: 1, from: 0 })
+            .unwrap_err();
+        assert!(matches!(err, PrbwError::MissingSourcePebble(_, _)));
+    }
+
+    #[test]
+    fn compute_needs_level1_preds_of_same_proc() {
+        let g = chains::chain(2);
+        let h = small_machine();
+        let mut st = PrbwState::initial(&g, &h);
+        st.apply(PrbwMove::Input { v: VertexId(0), unit: 0 }).unwrap();
+        // Value at level L only — not at level 1 of proc 0.
+        let err = st
+            .apply(PrbwMove::Compute { v: VertexId(1), proc: 0 })
+            .unwrap_err();
+        assert_eq!(err, PrbwError::ComputeWithoutPreds(VertexId(1), 0));
+    }
+
+    #[test]
+    fn vertical_traffic_accounted_per_unit() {
+        let g = chains::chain(4);
+        let h = small_machine();
+        let order = topological_order(&g);
+        let owner = vec![0usize; g.num_vertices()];
+        let stats = execute_owner_computes(&g, &h, &order, &owner).unwrap();
+        // All traffic flows through node 0's memory unit.
+        let u = Unit::new(2, 0);
+        assert!(stats.vertical_traffic(u) > 0);
+        assert_eq!(stats.vertical_traffic(Unit::new(2, 1)), 0);
+        assert_eq!(
+            stats.max_vertical_traffic_at_level(2, 2),
+            stats.vertical_traffic(u)
+        );
+    }
+
+    #[test]
+    fn stats_on_ladder_with_four_procs() {
+        let g = chains::ladder(4, 4);
+        let h = small_machine();
+        let order = topological_order(&g);
+        // Stripe rows across all 4 processors.
+        let owner: Vec<usize> = (0..g.num_vertices()).map(|i| (i / 4) % 4).collect();
+        let stats = execute_owner_computes(&g, &h, &order, &owner).unwrap();
+        let total_computes: u64 = stats.computes.values().sum();
+        assert_eq!(total_computes, g.num_compute_vertices() as u64);
+        assert!(stats.max_computes() >= total_computes / 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dmc-core — pebble games and data-movement lower bounds
+//!
+//! This crate implements the paper's primary contribution
+//! (Elango et al., *On Characterizing the Data Movement Complexity of
+//! Computational DAGs for Parallel Execution*, SPAA'14 / Inria RR-8522):
+//!
+//! * **Pebble games** ([`games`]):
+//!   * the classic Hong–Kung red-blue game (Definition 2) with
+//!     recomputation,
+//!   * the Red-Blue-White game (Definition 4) that forbids recomputation
+//!     and supports flexible input/output tagging,
+//!   * the Parallel RBW game (Definition 6) over multi-node, multi-level
+//!     hierarchies with pebble shades per storage unit,
+//!   * validating executors, heuristic players (LRU / Belady eviction) that
+//!     produce *upper* bounds, and an exact optimal solver for tiny CDAGs.
+//! * **S-partitioning** ([`partition`]): Definitions 3 and 5, the Theorem-1
+//!   construction of a 2S-partition from any complete game, and partition
+//!   validity certification.
+//! * **Lower bounds** ([`bounds`]): Lemma 1 / Corollary 1 (2S-partition),
+//!   Lemma 2 (min-cut wavefronts) with an automated anchor-sampling
+//!   heuristic, and the decomposition combinators of Theorem 2,
+//!   Corollary 2 and Theorem 3.
+//! * **Parallel bounds** ([`parallel`]): vertical I/O cost (Theorems 5–6)
+//!   and horizontal I/O cost (Theorem 7).
+//! * **Machine-balance analysis** ([`analysis`]): Equations 4–10 — turning
+//!   bounds + machine specs into bandwidth-bound verdicts (Section 5).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod bounds;
+pub mod games;
+pub mod parallel;
+pub mod partition;
+
+pub use bounds::{IoBound, Method};
+pub use games::{GameError, GameTrace, Move};

@@ -1,0 +1,89 @@
+//! Horizontal (inter-node) I/O lower bounds — Theorem 7.
+
+use crate::bounds::{IoBound, Method};
+use dmc_machine::MemoryHierarchy;
+
+/// Theorem 7: the node whose processors perform the most compute
+/// transitions receives at least
+/// `(|V| / (U(C, 2S_L) · P_i) − 1) · S_L` remote-get words, where `P_i` is
+/// the number of such busiest-node groups — i.e. the node count `N_L`
+/// (each group holds `P/N_L` processors and the busiest does ≥ `|V|/N_L`
+/// work).
+pub fn horizontal_lower_bound(
+    h: &MemoryHierarchy,
+    total_work: f64,
+    largest_2s_partition: f64,
+) -> IoBound {
+    assert!(largest_2s_partition > 0.0);
+    let top = h.num_levels();
+    let nodes = h.units(top) as f64;
+    let s_top = h.capacity(top) as f64;
+    let value = (total_work / (largest_2s_partition * nodes) - 1.0) * s_top;
+    IoBound::new(
+        value,
+        Method::Horizontal,
+        format!(
+            "(|V|/(U·P_i) − 1)·S_L with |V| = {total_work:.3e}, U = {largest_2s_partition:.3e}, nodes = {nodes}"
+        ),
+    )
+}
+
+/// Ghost-cell upper bound on horizontal traffic for block-partitioned
+/// d-dimensional stencil-style computations (Sections 5.2.2/5.4.2): with
+/// block side `B = n / N_nodes^{1/d}`, each node exchanges
+/// `(B+2)^d − B^d` halo words per sweep, `O(2d·B^{d−1})`.
+pub fn ghost_cell_upper_bound(n: usize, d: usize, nodes: usize, sweeps: usize) -> f64 {
+    let b = n as f64 / (nodes as f64).powf(1.0 / d as f64);
+    (((b + 2.0).powi(d as i32)) - b.powi(d as i32)) * sweeps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_machine::{Level, MemoryHierarchy};
+
+    fn machine(nodes: usize) -> MemoryHierarchy {
+        MemoryHierarchy::new(vec![
+            Level::new("regs", nodes * 4, 64),
+            Level::new("DRAM", nodes, 4096),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn thm7_formula() {
+        let h = machine(4);
+        // (1e6/(1000·4) − 1)·4096 = 249·4096.
+        let b = horizontal_lower_bound(&h, 1e6, 1000.0);
+        assert_eq!(b.value, 249.0 * 4096.0);
+    }
+
+    #[test]
+    fn thm7_clamps() {
+        let h = machine(4);
+        assert_eq!(horizontal_lower_bound(&h, 10.0, 1e9).value, 0.0);
+    }
+
+    #[test]
+    fn ghost_cells_shrink_per_node_with_more_nodes() {
+        // Per-node halo (B+2)^d − B^d shrinks as blocks shrink, and for
+        // d ≥ 2 the surface term dominates: compare per-node volumes.
+        let few = ghost_cell_upper_bound(120, 3, 8, 1);
+        let many = ghost_cell_upper_bound(120, 3, 64, 1);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn ghost_cells_scale_with_sweeps() {
+        let one = ghost_cell_upper_bound(64, 2, 4, 1);
+        let ten = ghost_cell_upper_bound(64, 2, 4, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ghost_cells_match_closed_form_1d() {
+        // d = 1: halo is always 2 cells per node per sweep.
+        let g = ghost_cell_upper_bound(100, 1, 4, 3);
+        assert!((g - 6.0).abs() < 1e-9);
+    }
+}

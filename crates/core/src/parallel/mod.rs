@@ -1,0 +1,11 @@
+//! Parallel I/O lower bounds (Section 4).
+//!
+//! * [`vertical`] — Theorems 5 and 6: data movement across one level of
+//!   the within-node memory hierarchy;
+//! * [`horizontal`] — Theorem 7: remote-get traffic across nodes.
+
+pub mod horizontal;
+pub mod vertical;
+
+pub use horizontal::horizontal_lower_bound;
+pub use vertical::{vertical_lower_bound_thm5, vertical_lower_bound_thm6};

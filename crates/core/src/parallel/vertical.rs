@@ -1,0 +1,105 @@
+//! Vertical (within-node hierarchy) I/O lower bounds — Theorems 5 and 6.
+
+use crate::bounds::{IoBound, Method};
+use dmc_machine::MemoryHierarchy;
+
+/// Theorem 5: the busiest level-`l` storage unit performs at least
+/// `IO_1(C, S_{l−1}·N_{l−1}) / N_l` move-down transitions, where
+/// `IO_1(C, S)` is the sequential I/O lower bound of the CDAG with fast
+/// memory `S` — here supplied by the caller evaluated at the *aggregate*
+/// child capacity `S_{l−1}·N_{l−1}`.
+pub fn vertical_lower_bound_thm5(
+    h: &MemoryHierarchy,
+    level: usize,
+    sequential_bound_at_aggregate_capacity: f64,
+) -> IoBound {
+    assert!(level >= 2 && level <= h.num_levels());
+    let nl = h.units(level) as f64;
+    IoBound::new(
+        sequential_bound_at_aggregate_capacity / nl,
+        Method::Vertical,
+        format!(
+            "IO₁(C, S_{}·N_{}) / N_{} = {:.3e} / {}",
+            level - 1,
+            level - 1,
+            level,
+            sequential_bound_at_aggregate_capacity,
+            nl
+        ),
+    )
+}
+
+/// Theorem 6: with `|V|` total work and `U(C, 2S_{l−1})` the largest
+/// 2S-partition block, the busiest level-`l` unit moves at least
+/// `[|V|/(U·N_l) − N_{l−1}/N_l] · S_{l−1}` words — approximately
+/// `|V|·S_{l−1} / (U·N_l)`.
+pub fn vertical_lower_bound_thm6(
+    h: &MemoryHierarchy,
+    level: usize,
+    total_work: f64,
+    largest_2s_partition: f64,
+) -> IoBound {
+    assert!(level >= 2 && level <= h.num_levels());
+    assert!(largest_2s_partition > 0.0);
+    let nl = h.units(level) as f64;
+    let nl_child = h.units(level - 1) as f64;
+    let s_child = h.capacity(level - 1) as f64;
+    let value = (total_work / (largest_2s_partition * nl) - nl_child / nl) * s_child;
+    IoBound::new(
+        value,
+        Method::Vertical,
+        format!(
+            "[|V|/(U·N_{level}) − N_{}/N_{level}]·S_{} with |V| = {total_work:.3e}, U = {largest_2s_partition:.3e}",
+            level - 1,
+            level - 1
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmc_machine::{Level, MemoryHierarchy};
+
+    fn machine() -> MemoryHierarchy {
+        // 8 procs × 64 regs; 4 caches × 4096; 2 memories.
+        MemoryHierarchy::new(vec![
+            Level::new("regs", 8, 64),
+            Level::new("L2", 4, 4096),
+            Level::new("DRAM", 2, 1 << 24),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn thm5_divides_by_unit_count() {
+        let h = machine();
+        let b = vertical_lower_bound_thm5(&h, 2, 4000.0);
+        assert_eq!(b.value, 1000.0);
+        let b = vertical_lower_bound_thm5(&h, 3, 4000.0);
+        assert_eq!(b.value, 2000.0);
+    }
+
+    #[test]
+    fn thm6_formula() {
+        let h = machine();
+        // level 2: N_2 = 4, N_1 = 8, S_1 = 64.
+        // |V| = 1e6, U = 1000: (1e6/(1000·4) − 8/4)·64 = (250 − 2)·64.
+        let b = vertical_lower_bound_thm6(&h, 2, 1e6, 1000.0);
+        assert_eq!(b.value, 248.0 * 64.0);
+    }
+
+    #[test]
+    fn thm6_clamps_when_partition_huge() {
+        let h = machine();
+        let b = vertical_lower_bound_thm6(&h, 2, 100.0, 1e9);
+        assert_eq!(b.value, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn level_one_rejected() {
+        let h = machine();
+        let _ = vertical_lower_bound_thm5(&h, 1, 10.0);
+    }
+}

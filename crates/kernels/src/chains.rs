@@ -1,0 +1,154 @@
+//! Small synthetic CDAG shapes with hand-computable optimal I/O, used to
+//! validate the pebble-game engines and lower-bound machinery.
+
+use dmc_cdag::{Cdag, CdagBuilder, VertexId};
+
+/// A simple chain `x_0 → x_1 → … → x_{k-1}` with `x_0` an input and the
+/// last vertex an output. Optimal Hong–Kung I/O with `S ≥ 2` pebbles is
+/// exactly 2 (load the input, store the output).
+pub fn chain(k: usize) -> Cdag {
+    assert!(k >= 1);
+    let mut b = CdagBuilder::with_capacity(k, k.saturating_sub(1));
+    let mut prev = b.add_input("x0");
+    for i in 1..k {
+        prev = b.add_op(format!("x{i}"), &[prev]);
+    }
+    b.tag_output(prev);
+    b.build().expect("chain is acyclic")
+}
+
+/// The 4-vertex diamond `a → {b, c} → d`.
+pub fn diamond() -> Cdag {
+    let mut b = CdagBuilder::new();
+    let a = b.add_input("a");
+    let x = b.add_op("b", &[a]);
+    let y = b.add_op("c", &[a]);
+    let d = b.add_op("d", &[x, y]);
+    b.tag_output(d);
+    b.build().expect("diamond is acyclic")
+}
+
+/// A complete binary reduction tree over `leaves` inputs (`leaves` must be
+/// a power of two); the root is the only output. `2·leaves − 1` vertices.
+pub fn binary_reduction(leaves: usize) -> Cdag {
+    assert!(leaves.is_power_of_two() && leaves >= 1);
+    let mut b = CdagBuilder::with_capacity(2 * leaves - 1, 2 * (leaves - 1));
+    let mut frontier: Vec<VertexId> = (0..leaves).map(|i| b.add_input(format!("x{i}"))).collect();
+    let mut level = 0;
+    while frontier.len() > 1 {
+        level += 1;
+        frontier = frontier
+            .chunks(2)
+            .enumerate()
+            .map(|(i, pair)| b.add_op(format!("s{level}_{i}"), pair))
+            .collect();
+    }
+    b.tag_output(frontier[0]);
+    b.build().expect("reduction tree is acyclic")
+}
+
+/// `k` completely independent chains of length `len` — the canonical case
+/// where CDAG decomposition (Theorem 2) is exact: total I/O is the sum of
+/// per-chain I/O.
+pub fn independent_chains(k: usize, len: usize) -> Cdag {
+    let mut b = CdagBuilder::with_capacity(k * len, k * (len - 1));
+    for c in 0..k {
+        let mut prev = b.add_input(format!("c{c}_x0"));
+        for i in 1..len {
+            prev = b.add_op(format!("c{c}_x{i}"), &[prev]);
+        }
+        b.tag_output(prev);
+    }
+    b.build().expect("chains are acyclic")
+}
+
+/// A 2-D dependence ladder of width `w` and height `h`: vertex `(i, j)`
+/// depends on `(i-1, j)` and `(i, j-1)`. Row 0 are inputs, the final
+/// corner is the output. This is the classic "diamond DAG".
+pub fn ladder(w: usize, h: usize) -> Cdag {
+    assert!(w >= 1 && h >= 1);
+    let mut b = CdagBuilder::with_capacity(w * h, 2 * w * h);
+    let mut ids = vec![VertexId(0); w * h];
+    for j in 0..h {
+        for i in 0..w {
+            let mut preds = Vec::with_capacity(2);
+            if i > 0 {
+                preds.push(ids[j * w + i - 1]);
+            }
+            if j > 0 {
+                preds.push(ids[(j - 1) * w + i]);
+            }
+            let v = if preds.is_empty() {
+                b.add_input("g0_0")
+            } else {
+                b.add_op(format!("g{i}_{j}"), &preds)
+            };
+            ids[j * w + i] = v;
+        }
+    }
+    b.tag_output(ids[w * h - 1]);
+    b.build().expect("ladder is acyclic")
+}
+
+/// The "shared value" two-stage graph used to demonstrate why sub-DAG
+/// bounds cannot simply be added under the Hong–Kung model: stage 1
+/// computes `m` values from one input; stage 2 consumes all of them.
+pub fn two_stage(m: usize) -> Cdag {
+    let mut b = CdagBuilder::new();
+    let x = b.add_input("x");
+    let stage1: Vec<VertexId> = (0..m).map(|i| b.add_op(format!("f{i}"), &[x])).collect();
+    let out = b.add_op("g", &stage1);
+    b.tag_output(out);
+    b.build().expect("two-stage is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(10);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.num_inputs(), 1);
+        assert_eq!(g.num_outputs(), 1);
+        assert!(g.is_hong_kung_form());
+    }
+
+    #[test]
+    fn binary_reduction_shape() {
+        let g = binary_reduction(8);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.num_inputs(), 8);
+        assert_eq!(g.num_outputs(), 1);
+        assert_eq!(dmc_cdag::topo::critical_path_len(&g), 4);
+    }
+
+    #[test]
+    fn independent_chains_shape() {
+        let g = independent_chains(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_inputs(), 3);
+        assert_eq!(g.num_outputs(), 3);
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let g = ladder(3, 3);
+        assert_eq!(g.num_vertices(), 9);
+        // Edges: horizontal 2 per row * 3 rows + vertical 3 per col * 2.
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(dmc_cdag::topo::critical_path_len(&g), 5);
+    }
+
+    #[test]
+    fn two_stage_shape() {
+        let g = two_stage(5);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 10);
+        let out = VertexId(6);
+        assert_eq!(g.in_degree(out), 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! FFT butterfly-network CDAGs.
+//!
+//! The `n`-point FFT graph has `log₂ n` stages of `n` vertices; vertex
+//! `(s, i)` depends on `(s−1, i)` and `(s−1, i ⊕ 2^{s−1})`. Hong & Kung
+//! showed its I/O complexity is `Θ(n·log n / log S)`; the paper's related
+//! work (Ranjan–Savage–Zubair) sharpens the constants.
+
+use dmc_cdag::{Cdag, CdagBuilder, VertexId};
+
+/// Builds the `n`-point FFT butterfly CDAG (`n` must be a power of two).
+/// Inputs: the `n` leaves; outputs: the `n` final-stage vertices.
+pub fn fft(n: usize) -> Cdag {
+    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2");
+    let stages = n.trailing_zeros() as usize;
+    let mut b = CdagBuilder::with_capacity(n * (stages + 1), 2 * n * stages);
+    let mut prev: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("x{i}"))).collect();
+    for s in 1..=stages {
+        let stride = 1usize << (s - 1);
+        let cur: Vec<VertexId> = (0..n)
+            .map(|i| b.add_op(format!("f{s}_{i}"), &[prev[i], prev[i ^ stride]]))
+            .collect();
+        prev = cur;
+    }
+    for &v in &prev {
+        b.tag_output(v);
+    }
+    b.build().expect("FFT butterfly is acyclic")
+}
+
+/// The Hong–Kung style asymptotic I/O lower bound for the `n`-point FFT
+/// with `s` fast words: `Ω(n·log n / log s)`, with the classical constant
+/// `n·log₂ n / (2·log₂ s)` (valid for `s ≥ 2`).
+pub fn fft_io_lower_bound(n: usize, s: u64) -> f64 {
+    assert!(s >= 2);
+    let n_f = n as f64;
+    n_f * n_f.log2() / (2.0 * (s as f64).log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = fft(8);
+        assert_eq!(g.num_vertices(), 8 * 4);
+        assert_eq!(g.num_edges(), 2 * 8 * 3);
+        assert_eq!(g.num_inputs(), 8);
+        assert_eq!(g.num_outputs(), 8);
+        assert!(g.is_hong_kung_form());
+    }
+
+    #[test]
+    fn butterfly_connectivity() {
+        // Every output depends on every input.
+        let g = fft(8);
+        let outputs: Vec<_> = g.vertices().filter(|&v| g.is_output(v)).collect();
+        for &o in &outputs {
+            let anc = dmc_cdag::reach::ancestors(&g, o);
+            let input_ancestors = (0..8).filter(|&i| anc.contains(i)).count();
+            assert_eq!(input_ancestors, 8, "output {o} must reach all inputs");
+        }
+    }
+
+    #[test]
+    fn every_stage_vertex_has_two_preds() {
+        let g = fft(16);
+        for v in g.vertices().filter(|&v| !g.is_input(v)) {
+            assert_eq!(g.in_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn lower_bound_shrinks_with_s() {
+        assert!(fft_io_lower_bound(1024, 4) > fft_io_lower_bound(1024, 256));
+        // n log n / (2 log s) with n = 16, s = 4: 16·4/(2·2) = 16.
+        assert!((fft_io_lower_bound(16, 4) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = fft(12);
+    }
+}

@@ -1,0 +1,189 @@
+//! d-dimensional grid indexing shared by the stencil-shaped kernels
+//! (Jacobi, SpMV inside CG/GMRES).
+
+/// A dense d-dimensional grid of extent `n` along every dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    /// Extent along each dimension.
+    pub n: usize,
+    /// Number of dimensions `d`.
+    pub d: usize,
+}
+
+/// Stencil neighbourhood shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stencil {
+    /// Von Neumann neighbourhood: the point plus its `2d` axis neighbours
+    /// (the 5-point stencil in 2-D, 7-point in 3-D).
+    VonNeumann,
+    /// Moore neighbourhood: the full `3^d` box (the 9-point stencil of the
+    /// paper's Theorem 10 in 2-D).
+    Moore,
+}
+
+impl Grid {
+    /// Creates an `n^d` grid.
+    pub fn new(n: usize, d: usize) -> Self {
+        assert!(n >= 1 && d >= 1, "grid must have positive extent and dimension");
+        Grid { n, d }
+    }
+
+    /// Total number of points `n^d`.
+    pub fn len(&self) -> usize {
+        self.n.pow(self.d as u32)
+    }
+
+    /// `true` only for the degenerate 1-point grid with n = 1.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Converts a linear index to coordinates (row-major, dimension 0
+    /// fastest).
+    pub fn coords(&self, idx: usize) -> Vec<usize> {
+        debug_assert!(idx < self.len());
+        let mut c = Vec::with_capacity(self.d);
+        let mut rest = idx;
+        for _ in 0..self.d {
+            c.push(rest % self.n);
+            rest /= self.n;
+        }
+        c
+    }
+
+    /// Converts coordinates back to a linear index.
+    pub fn index(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.d);
+        let mut idx = 0usize;
+        for &c in coords.iter().rev() {
+            debug_assert!(c < self.n);
+            idx = idx * self.n + c;
+        }
+        idx
+    }
+
+    /// Linear indices of the stencil neighbours of `idx` (excluding `idx`
+    /// itself), clipped at the grid boundary.
+    pub fn neighbors(&self, idx: usize, stencil: Stencil) -> Vec<usize> {
+        let c = self.coords(idx);
+        let mut out = Vec::new();
+        match stencil {
+            Stencil::VonNeumann => {
+                let mut nc = c.clone();
+                for dim in 0..self.d {
+                    if c[dim] > 0 {
+                        nc[dim] = c[dim] - 1;
+                        out.push(self.index(&nc));
+                        nc[dim] = c[dim];
+                    }
+                    if c[dim] + 1 < self.n {
+                        nc[dim] = c[dim] + 1;
+                        out.push(self.index(&nc));
+                        nc[dim] = c[dim];
+                    }
+                }
+            }
+            Stencil::Moore => {
+                // Iterate the 3^d offset box via counting in base 3.
+                let total = 3usize.pow(self.d as u32);
+                let mut nc = vec![0usize; self.d];
+                'offsets: for code in 0..total {
+                    let mut rest = code;
+                    let mut is_center = true;
+                    for dim in 0..self.d {
+                        let off = (rest % 3) as isize - 1;
+                        rest /= 3;
+                        let x = c[dim] as isize + off;
+                        if x < 0 || x >= self.n as isize {
+                            continue 'offsets;
+                        }
+                        if off != 0 {
+                            is_center = false;
+                        }
+                        nc[dim] = x as usize;
+                    }
+                    if !is_center {
+                        out.push(self.index(&nc));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of interior+boundary points whose full stencil fits — i.e.
+    /// points at distance ≥ 1 from every face: `(n-2)^d` (0 when `n < 3`).
+    pub fn interior_len(&self) -> usize {
+        if self.n < 3 {
+            0
+        } else {
+            (self.n - 2).pow(self.d as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = Grid::new(4, 3);
+        for i in 0..g.len() {
+            assert_eq!(g.index(&g.coords(i)), i);
+        }
+        assert_eq!(g.len(), 64);
+    }
+
+    #[test]
+    fn von_neumann_counts() {
+        let g = Grid::new(3, 2);
+        // Center of a 3x3 grid has 4 axis neighbours.
+        let center = g.index(&[1, 1]);
+        assert_eq!(g.neighbors(center, Stencil::VonNeumann).len(), 4);
+        // Corner has 2.
+        assert_eq!(g.neighbors(0, Stencil::VonNeumann).len(), 2);
+    }
+
+    #[test]
+    fn moore_counts() {
+        let g = Grid::new(3, 2);
+        let center = g.index(&[1, 1]);
+        assert_eq!(g.neighbors(center, Stencil::Moore).len(), 8);
+        assert_eq!(g.neighbors(0, Stencil::Moore).len(), 3);
+        let g3 = Grid::new(3, 3);
+        let center = g3.index(&[1, 1, 1]);
+        assert_eq!(g3.neighbors(center, Stencil::Moore).len(), 26);
+    }
+
+    #[test]
+    fn neighbors_exclude_self_and_stay_in_bounds() {
+        let g = Grid::new(4, 2);
+        for i in 0..g.len() {
+            for s in [Stencil::VonNeumann, Stencil::Moore] {
+                let nb = g.neighbors(i, s);
+                assert!(!nb.contains(&i));
+                assert!(nb.iter().all(|&j| j < g.len()));
+                // No duplicates.
+                let mut sorted = nb.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), nb.len());
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_grid() {
+        let g = Grid::new(5, 1);
+        assert_eq!(g.neighbors(2, Stencil::VonNeumann), vec![1, 3]);
+        assert_eq!(g.neighbors(2, Stencil::Moore), vec![1, 3]);
+        assert_eq!(g.neighbors(0, Stencil::VonNeumann), vec![1]);
+    }
+
+    #[test]
+    fn interior_len() {
+        assert_eq!(Grid::new(5, 2).interior_len(), 9);
+        assert_eq!(Grid::new(2, 3).interior_len(), 0);
+    }
+}

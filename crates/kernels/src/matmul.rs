@@ -1,0 +1,115 @@
+//! Dense matrix-multiplication CDAGs.
+//!
+//! `C = A·B` for `N×N` matrices is the original Hong–Kung example: its
+//! sequential I/O lower bound is `Θ(N³/√S)` — specifically
+//! `N³/(2√(2S))` under the 2S-partition argument (Section 3 of the paper
+//! cites `N³/2√(2S)`; see also Irony–Toledo–Tiskin).
+
+use crate::vecops::reduce_tree;
+use dmc_cdag::{Cdag, CdagBuilder, VertexId};
+
+/// Builds the CDAG of `C = A·B` for `n×n` matrices with per-element
+/// multiply vertices and balanced-tree accumulations:
+/// `2n²` inputs, `n³` multiplies, `n²(n−1)` adds, outputs on the `n²`
+/// accumulation roots.
+pub fn matmul(n: usize) -> Cdag {
+    assert!(n >= 1);
+    let mut b = CdagBuilder::with_capacity(2 * n * n + n * n * n * 2, 4 * n * n * n);
+    let a: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("A{}_{}", k / n, k % n))).collect();
+    let bb: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("B{}_{}", k / n, k % n))).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let prods: Vec<VertexId> = (0..n)
+                .map(|k| b.add_op(format!("m{i}_{j}_{k}"), &[a[i * n + k], bb[k * n + j]]))
+                .collect();
+            let c = reduce_tree(&mut b, &prods, &format!("C{i}_{j}"));
+            b.tag_output(c);
+        }
+    }
+    b.build().expect("matmul is acyclic")
+}
+
+/// Builds the matmul CDAG with *sequential* (chain) accumulation instead of
+/// balanced trees — the textbook triple loop. Same asymptotic I/O, deeper
+/// critical path; used by the ablation benches.
+pub fn matmul_chain_accumulate(n: usize) -> Cdag {
+    assert!(n >= 1);
+    let mut b = CdagBuilder::with_capacity(2 * n * n + 2 * n * n * n, 4 * n * n * n);
+    let a: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("A{}_{}", k / n, k % n))).collect();
+    let bb: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("B{}_{}", k / n, k % n))).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: Option<VertexId> = None;
+            for k in 0..n {
+                let m = b.add_op(format!("m{i}_{j}_{k}"), &[a[i * n + k], bb[k * n + j]]);
+                acc = Some(match acc {
+                    None => m,
+                    Some(prev) => b.add_op(format!("s{i}_{j}_{k}"), &[prev, m]),
+                });
+            }
+            b.tag_output(acc.expect("n >= 1"));
+        }
+    }
+    b.build().expect("matmul is acyclic")
+}
+
+/// The asymptotic sequential I/O lower bound for `n×n` matmul with `s` fast
+/// words: `n³ / (2·√(2s))` (paper Section 3, after Hong–Kung / Irony et
+/// al.).
+pub fn matmul_io_lower_bound(n: usize, s: u64) -> f64 {
+    let n = n as f64;
+    n * n * n / (2.0 * (2.0 * s as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_shape() {
+        let n = 3;
+        let g = matmul(n);
+        // 2n² inputs + n³ mults + n²(n−1) adds.
+        assert_eq!(g.num_vertices(), 2 * n * n + n * n * n + n * n * (n - 1));
+        assert_eq!(g.num_inputs(), 2 * n * n);
+        assert_eq!(g.num_outputs(), n * n);
+        assert!(g.is_hong_kung_form());
+    }
+
+    #[test]
+    fn chain_shape_matches_tree_vertex_count() {
+        let n = 4;
+        let t = matmul(n);
+        let c = matmul_chain_accumulate(n);
+        assert_eq!(t.num_vertices(), c.num_vertices());
+        assert_eq!(t.num_inputs(), c.num_inputs());
+        assert_eq!(t.num_outputs(), c.num_outputs());
+        // Chain accumulation has a longer critical path.
+        assert!(
+            dmc_cdag::topo::critical_path_len(&c) >= dmc_cdag::topo::critical_path_len(&t)
+        );
+    }
+
+    #[test]
+    fn every_input_feeds_n_products() {
+        let n = 3;
+        let g = matmul(n);
+        for v in g.vertices().filter(|&v| g.is_input(v)) {
+            assert_eq!(g.out_degree(v), n, "each A/B element used n times");
+        }
+    }
+
+    #[test]
+    fn lower_bound_decreases_with_s() {
+        assert!(matmul_io_lower_bound(64, 8) > matmul_io_lower_bound(64, 512));
+        let expected = 64f64.powi(3) / (2.0 * (16.0f64).sqrt());
+        assert!((matmul_io_lower_bound(64, 8) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_equals_one() {
+        let g = matmul(1);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_outputs(), 1);
+    }
+}

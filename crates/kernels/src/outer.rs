@@ -1,0 +1,60 @@
+//! Vector outer products `A = p · qᵀ`.
+//!
+//! Section 3 of the paper uses the outer product as the canonical example
+//! of an I/O-bound-but-capacity-independent kernel: computing and storing
+//! `A` costs `2N` loads + `N²` stores, *independent of S*, because every
+//! result element is used exactly once.
+
+use dmc_cdag::{Cdag, CdagBuilder, VertexId};
+
+/// Builds the CDAG of `A = p·qᵀ` for vectors of length `n`:
+/// `2n` inputs, `n²` multiply vertices, all tagged outputs.
+pub fn outer_product(n: usize) -> Cdag {
+    let mut b = CdagBuilder::with_capacity(2 * n + n * n, 2 * n * n);
+    let p: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("p{i}"))).collect();
+    let q: Vec<VertexId> = (0..n).map(|j| b.add_input(format!("q{j}"))).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let a = b.add_op(format!("A{i}_{j}"), &[p[i], q[j]]);
+            b.tag_output(a);
+        }
+    }
+    b.build().expect("outer product is acyclic")
+}
+
+/// The exact I/O cost of the outer product under the RBW game with
+/// `S ≥ 3` red pebbles: `2n` input loads plus `n²` output stores
+/// (Section 3 of the paper: "total I/O of 2N + N², independent of S").
+pub fn outer_product_exact_io(n: usize) -> u64 {
+    2 * n as u64 + (n as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = outer_product(4);
+        assert_eq!(g.num_vertices(), 8 + 16);
+        assert_eq!(g.num_edges(), 32);
+        assert_eq!(g.num_inputs(), 8);
+        assert_eq!(g.num_outputs(), 16);
+        assert!(g.is_hong_kung_form());
+    }
+
+    #[test]
+    fn every_result_has_two_preds() {
+        let g = outer_product(3);
+        for v in g.vertices().filter(|&v| !g.is_input(v)) {
+            assert_eq!(g.in_degree(v), 2);
+            assert_eq!(g.out_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn io_formula() {
+        assert_eq!(outer_product_exact_io(10), 120);
+        assert_eq!(outer_product_exact_io(1), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Random layered DAG generation for fuzzing and property tests.
+
+use dmc_cdag::{Cdag, CdagBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random layered DAG generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomDagConfig {
+    /// Number of layers (≥ 2).
+    pub layers: usize,
+    /// Vertices per layer (≥ 1).
+    pub width: usize,
+    /// Probability of an edge from each vertex of layer `k−1` to each
+    /// vertex of layer `k`.
+    pub edge_prob: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            layers: 4,
+            width: 8,
+            edge_prob: 0.3,
+            seed: 0xDA6,
+        }
+    }
+}
+
+/// Generates a random layered CDAG. Layer 0 vertices are inputs; every
+/// non-input vertex is guaranteed at least one predecessor (a random
+/// vertex of the previous layer if the coin flips all failed); sinks are
+/// tagged outputs.
+pub fn random_layered(cfg: RandomDagConfig) -> Cdag {
+    assert!(cfg.layers >= 2 && cfg.width >= 1);
+    assert!((0.0..=1.0).contains(&cfg.edge_prob));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = CdagBuilder::with_capacity(cfg.layers * cfg.width, 0);
+    let mut prev: Vec<VertexId> = (0..cfg.width)
+        .map(|i| b.add_input(format!("l0_{i}")))
+        .collect();
+    for layer in 1..cfg.layers {
+        let cur: Vec<VertexId> = (0..cfg.width)
+            .map(|i| {
+                let mut preds: Vec<VertexId> = prev
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(cfg.edge_prob))
+                    .collect();
+                if preds.is_empty() {
+                    preds.push(prev[rng.gen_range(0..prev.len())]);
+                }
+                b.add_op(format!("l{layer}_{i}"), &preds)
+            })
+            .collect();
+        prev = cur;
+    }
+    // Tag all sinks as outputs (Hong–Kung form).
+    let snapshot = b.clone().build().expect("layered graph is acyclic");
+    for v in snapshot.vertices() {
+        if snapshot.out_degree(v) == 0 && !snapshot.is_input(v) {
+            b.tag_output(v);
+        }
+    }
+    b.build().expect("layered graph is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_layered(RandomDagConfig::default());
+        let b = random_layered(RandomDagConfig::default());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_layered(RandomDagConfig::default());
+        let b = random_layered(RandomDagConfig {
+            seed: 42,
+            ..Default::default()
+        });
+        // Overwhelmingly likely to differ in edge count.
+        assert!(a.num_edges() != b.num_edges() || a.edges().ne(b.edges()));
+    }
+
+    #[test]
+    fn every_non_input_has_a_predecessor() {
+        let g = random_layered(RandomDagConfig {
+            layers: 6,
+            width: 10,
+            edge_prob: 0.05, // sparse: exercises the fallback edge
+            seed: 7,
+        });
+        for v in g.vertices() {
+            if !g.is_input(v) {
+                assert!(g.in_degree(v) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn last_layer_is_all_outputs() {
+        let g = random_layered(RandomDagConfig::default());
+        let outs = g.vertices().filter(|&v| g.is_output(v)).count();
+        assert!(outs >= RandomDagConfig::default().width);
+    }
+}

@@ -1,0 +1,156 @@
+//! Vector-operation CDAG fragments: reduction trees, dot products, saxpy.
+//!
+//! These are both standalone kernels and the building blocks the CG/GMRES
+//! generators compose (one iteration of CG is one SpMV + three dot products
+//! + three saxpies, Figure 3 of the paper).
+
+use dmc_cdag::{Cdag, CdagBuilder, VertexId};
+
+/// Appends a balanced binary reduction over `items` to `b`; returns the
+/// root vertex. Single-item reductions return the item unchanged.
+pub fn reduce_tree(b: &mut CdagBuilder, items: &[VertexId], tag: &str) -> VertexId {
+    assert!(!items.is_empty(), "cannot reduce an empty sequence");
+    let mut frontier = items.to_vec();
+    let mut level = 0;
+    while frontier.len() > 1 {
+        level += 1;
+        frontier = frontier
+            .chunks(2)
+            .enumerate()
+            .map(|(i, pair)| {
+                if pair.len() == 2 {
+                    b.add_op(format!("{tag}+L{level}_{i}"), pair)
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    frontier[0]
+}
+
+/// Appends a dot product `⟨x, y⟩`: elementwise multiplies then a reduction
+/// tree; returns the scalar result vertex. When `x[i] == y[i]` (a squared
+/// norm) the duplicate edge is collapsed by the builder's dedup pass if
+/// enabled, or kept as a 2-edge multiply otherwise.
+pub fn dot(b: &mut CdagBuilder, x: &[VertexId], y: &[VertexId], tag: &str) -> VertexId {
+    assert_eq!(x.len(), y.len(), "dot product of unequal lengths");
+    let prods: Vec<VertexId> = x
+        .iter()
+        .zip(y)
+        .enumerate()
+        .map(|(i, (&a, &c))| {
+            if a == c {
+                b.add_op(format!("{tag}*sq{i}"), &[a])
+            } else {
+                b.add_op(format!("{tag}*{i}"), &[a, c])
+            }
+        })
+        .collect();
+    reduce_tree(b, &prods, tag)
+}
+
+/// Appends a fused `z_i = x_i + s·y_i` (saxpy); returns the result vector.
+pub fn saxpy(
+    b: &mut CdagBuilder,
+    x: &[VertexId],
+    s: VertexId,
+    y: &[VertexId],
+    tag: &str,
+) -> Vec<VertexId> {
+    assert_eq!(x.len(), y.len(), "saxpy of unequal lengths");
+    x.iter()
+        .zip(y)
+        .enumerate()
+        .map(|(i, (&a, &c))| b.add_op(format!("{tag}{i}"), &[a, s, c]))
+        .collect()
+}
+
+/// Appends an elementwise scale `z_i = x_i · s`; returns the result vector.
+pub fn scale(b: &mut CdagBuilder, x: &[VertexId], s: VertexId, tag: &str) -> Vec<VertexId> {
+    x.iter()
+        .enumerate()
+        .map(|(i, &a)| b.add_op(format!("{tag}{i}"), &[a, s]))
+        .collect()
+}
+
+/// A standalone dot-product CDAG over two input vectors of length `n`.
+pub fn dot_product_cdag(n: usize) -> Cdag {
+    let mut b = CdagBuilder::new();
+    let x: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("x{i}"))).collect();
+    let y: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("y{i}"))).collect();
+    let r = dot(&mut b, &x, &y, "xy");
+    b.tag_output(r);
+    b.build().expect("dot product is acyclic")
+}
+
+/// A standalone saxpy CDAG `z = x + s·y` over inputs of length `n`.
+pub fn saxpy_cdag(n: usize) -> Cdag {
+    let mut b = CdagBuilder::new();
+    let x: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("x{i}"))).collect();
+    let y: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("y{i}"))).collect();
+    let s = b.add_input("s");
+    let z = saxpy(&mut b, &x, s, &y, "z");
+    for v in z {
+        b.tag_output(v);
+    }
+    b.build().expect("saxpy is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_tree_sizes() {
+        // n leaves -> n-1 internal adds, also for non-powers of two.
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let mut b = CdagBuilder::new();
+            let xs: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("x{i}"))).collect();
+            let root = reduce_tree(&mut b, &xs, "s");
+            let g = b.build().unwrap();
+            assert_eq!(g.num_vertices(), n + n.saturating_sub(1), "n = {n}");
+            if n > 1 {
+                assert_eq!(g.in_degree(root), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_product_shape() {
+        let g = dot_product_cdag(8);
+        // 16 inputs + 8 mults + 7 adds.
+        assert_eq!(g.num_vertices(), 31);
+        assert_eq!(g.num_inputs(), 16);
+        assert_eq!(g.num_outputs(), 1);
+        assert!(g.is_hong_kung_form());
+    }
+
+    #[test]
+    fn self_dot_uses_single_pred() {
+        let mut b = CdagBuilder::new();
+        let x: Vec<VertexId> = (0..4).map(|i| b.add_input(format!("x{i}"))).collect();
+        let r = dot(&mut b, &x.clone(), &x, "rr");
+        b.tag_output(r);
+        let g = b.build().unwrap();
+        // Square vertices have in-degree 1.
+        assert_eq!(g.in_degree(VertexId(4)), 1);
+    }
+
+    #[test]
+    fn saxpy_shape() {
+        let g = saxpy_cdag(6);
+        // 13 inputs (x, y, s) + 6 fused ops.
+        assert_eq!(g.num_vertices(), 19);
+        assert_eq!(g.num_outputs(), 6);
+        // Every output depends on x_i, s, y_i.
+        assert_eq!(g.in_degree(VertexId(13)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_reduction_panics() {
+        let mut b = CdagBuilder::new();
+        reduce_tree(&mut b, &[], "s");
+    }
+}

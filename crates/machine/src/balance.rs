@@ -1,0 +1,147 @@
+//! Machine balance parameters (Section 5 of the paper).
+//!
+//! A machine's *balance* at a memory level is the ratio of peak data
+//! movement bandwidth to peak computational throughput, expressed in
+//! words/FLOP. An algorithm whose per-FLOP data movement *lower bound*
+//! exceeds the balance is unavoidably bandwidth-bound at that level
+//! (Equation 7); one whose *upper bound* falls below it is definitely not
+//! (Equation 8).
+
+use crate::hierarchy::MemoryHierarchy;
+use serde::{Deserialize, Serialize};
+
+/// Physical description of a multi-node, multi-core machine, sufficient to
+/// derive the balance parameters the paper's Table 1 reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Machine name as reported in Table 1.
+    pub name: String,
+    /// Number of nodes `N_nodes`.
+    pub nodes: usize,
+    /// Cores per node `N_cores`.
+    pub cores_per_node: usize,
+    /// Peak floating-point rate per core, in GFLOP/s.
+    pub gflops_per_core: f64,
+    /// Main memory per node, in GB (Table 1, "Mem" column).
+    pub memory_gb: f64,
+    /// Last-level (shared L2/L3) cache per node, in MB (Table 1 column).
+    pub llc_mb: f64,
+    /// Aggregate DRAM ↔ LLC bandwidth per node, in GB/s (`B_vert`).
+    pub dram_bandwidth_gbs: f64,
+    /// Interconnect injection bandwidth per node, in GB/s (`B_horiz`).
+    pub network_bandwidth_gbs: f64,
+    /// Word size in bytes (8 for the double-precision analyses).
+    pub word_bytes: f64,
+}
+
+impl MachineSpec {
+    /// Peak floating-point rate per node, in GFLOP/s.
+    pub fn gflops_per_node(&self) -> f64 {
+        self.gflops_per_core * self.cores_per_node as f64
+    }
+
+    /// *Vertical* machine balance: DRAM↔LLC bandwidth (words/s) divided by
+    /// node peak FLOP rate — the `B^i_l / (|P^i_l| · F)` of Equation 7 for
+    /// the DRAM→L2 level. Matches Table 1's "Vertical balance" column.
+    pub fn vertical_balance(&self) -> f64 {
+        (self.dram_bandwidth_gbs / self.word_bytes) / self.gflops_per_node()
+    }
+
+    /// *Horizontal* machine balance: interconnect bandwidth (words/s)
+    /// divided by node peak FLOP rate. Matches Table 1's "Horiz. balance".
+    pub fn horizontal_balance(&self) -> f64 {
+        (self.network_bandwidth_gbs / self.word_bytes) / self.gflops_per_node()
+    }
+
+    /// Last-level cache capacity in words (`S_2`; e.g. 4 MWords for the
+    /// BG/Q's 32 MB L2, as used in Section 5.4.3).
+    pub fn llc_words(&self) -> u64 {
+        (self.llc_mb * 1e6 / self.word_bytes) as u64
+    }
+
+    /// Main-memory capacity per node in words.
+    pub fn memory_words(&self) -> u64 {
+        (self.memory_gb * 1e9 / self.word_bytes) as u64
+    }
+
+    /// Total core count `P`.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Derives the three-level [`MemoryHierarchy`] (registers → shared LLC →
+    /// per-node DRAM) this spec induces, with `s1` words of level-1 storage
+    /// per core.
+    pub fn to_hierarchy(&self, s1: u64) -> MemoryHierarchy {
+        MemoryHierarchy::cluster(
+            self.nodes,
+            self.cores_per_node,
+            s1,
+            self.llc_words(),
+            self.memory_words(),
+        )
+    }
+
+    /// One formatted row of the paper's Table 1:
+    /// `name, N_nodes, Mem (GB), LLC (MB), vertical, horizontal`.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<12} {:>6} {:>8.0} {:>8.0} {:>10.4} {:>10.4}",
+            self.name,
+            self.nodes,
+            self.memory_gb,
+            self.llc_mb,
+            self.vertical_balance(),
+            self.horizontal_balance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::specs;
+
+    #[test]
+    fn bgq_balances_match_table1() {
+        let m = specs::ibm_bgq();
+        // Table 1: vertical 0.052, horizontal 0.049.
+        assert!((m.vertical_balance() - 0.052).abs() < 0.001, "{}", m.vertical_balance());
+        assert!((m.horizontal_balance() - 0.049).abs() < 0.001, "{}", m.horizontal_balance());
+        assert_eq!(m.nodes, 2048);
+        assert!((m.memory_gb - 16.0).abs() < 1e-9);
+        assert!((m.llc_mb - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xt5_balances_match_table1() {
+        let m = specs::cray_xt5();
+        // Table 1: vertical 0.0256, horizontal 0.058.
+        assert!((m.vertical_balance() - 0.0256).abs() < 0.0005, "{}", m.vertical_balance());
+        assert!((m.horizontal_balance() - 0.058).abs() < 0.001, "{}", m.horizontal_balance());
+        assert_eq!(m.nodes, 9408);
+        assert!((m.llc_mb - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bgq_llc_is_4_mwords() {
+        // Section 5.4.3 substitutes S2 = 4 MWords for the BG/Q 32 MB L2.
+        let m = specs::ibm_bgq();
+        assert_eq!(m.llc_words(), 4_000_000);
+    }
+
+    #[test]
+    fn hierarchy_derivation() {
+        let m = specs::ibm_bgq();
+        let h = m.to_hierarchy(64);
+        assert_eq!(h.processors(), m.total_cores());
+        assert_eq!(h.units(2), m.nodes);
+        assert_eq!(h.capacity(2), m.llc_words());
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let row = specs::ibm_bgq().table1_row();
+        assert!(row.contains("IBM BG/Q"));
+        assert!(row.contains("2048"));
+    }
+}

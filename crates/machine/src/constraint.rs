@@ -1,0 +1,153 @@
+//! Bandwidth-bound decision rules (Equations 7–10 of the paper).
+//!
+//! For a memory unit at level `l`, the machine balance is
+//! `B^i_l / (|P^i_l| · F)` words/FLOP. Equation 7 states that an algorithm
+//! can avoid being bandwidth-bound at level `l` only if its data-movement
+//! **lower bound** per FLOP, `LB^i_l · N^i_l / |V|`, does not exceed the
+//! balance; Equation 8 states that if it *is* communication bound then the
+//! per-FLOP **upper bound** must exceed the balance — so an upper bound
+//! below the balance certifies "not bandwidth-bound at this level".
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of comparing an algorithm's data-movement bounds against a
+/// machine balance value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BandwidthVerdict {
+    /// The lower bound per FLOP exceeds the balance: the algorithm is
+    /// unavoidably bandwidth-bound at this level, whatever the schedule
+    /// (Equation 7 violated).
+    BandwidthBound,
+    /// The upper bound per FLOP is below the balance: some execution order
+    /// is not constrained by this level's bandwidth (Equation 8 violated).
+    NotBandwidthBound,
+    /// The balance lies between the lower and upper per-FLOP bounds; the
+    /// analysis is inconclusive (the GMRES situation of Section 5.3.3 when
+    /// `m` is unknown).
+    Inconclusive,
+}
+
+impl std::fmt::Display for BandwidthVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BandwidthVerdict::BandwidthBound => write!(f, "bandwidth-bound"),
+            BandwidthVerdict::NotBandwidthBound => write!(f, "not bandwidth-bound"),
+            BandwidthVerdict::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
+
+/// An algorithm-level data-movement constraint at one memory level: the
+/// per-FLOP lower and/or upper bounds on traffic through the busiest unit,
+/// already normalized as in Equations 7–8 (`bound × N_l / |V|`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// `LB · N_l / |V|` — certified minimum words moved per FLOP
+    /// (`None` when no lower bound is available).
+    pub lower_words_per_flop: Option<f64>,
+    /// `UB · N_l / |V|` — achievable words moved per FLOP
+    /// (`None` when no upper bound is available).
+    pub upper_words_per_flop: Option<f64>,
+}
+
+impl Constraint {
+    /// A constraint with only a lower bound.
+    pub fn lower(lb: f64) -> Self {
+        Constraint {
+            lower_words_per_flop: Some(lb),
+            upper_words_per_flop: None,
+        }
+    }
+
+    /// A constraint with only an upper bound.
+    pub fn upper(ub: f64) -> Self {
+        Constraint {
+            lower_words_per_flop: None,
+            upper_words_per_flop: Some(ub),
+        }
+    }
+
+    /// A constraint with both bounds.
+    ///
+    /// # Panics
+    /// Panics if `lb > ub` (an inverted sandwich indicates an analysis bug).
+    pub fn sandwich(lb: f64, ub: f64) -> Self {
+        assert!(
+            lb <= ub * (1.0 + 1e-12),
+            "lower bound {lb} exceeds upper bound {ub}"
+        );
+        Constraint {
+            lower_words_per_flop: Some(lb),
+            upper_words_per_flop: Some(ub),
+        }
+    }
+
+    /// Applies Equations 7–8 against a machine balance value (words/FLOP).
+    pub fn verdict(&self, balance_words_per_flop: f64) -> BandwidthVerdict {
+        if let Some(lb) = self.lower_words_per_flop {
+            if lb > balance_words_per_flop {
+                return BandwidthVerdict::BandwidthBound;
+            }
+        }
+        if let Some(ub) = self.upper_words_per_flop {
+            if ub < balance_words_per_flop {
+                return BandwidthVerdict::NotBandwidthBound;
+            }
+        }
+        BandwidthVerdict::Inconclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs;
+
+    #[test]
+    fn cg_style_verdicts() {
+        // CG's vertical ratio is 0.3 words/FLOP (Section 5.2.3) — above
+        // every Table-1 balance, so bandwidth-bound everywhere.
+        let c = Constraint::lower(0.3);
+        for m in specs::table1_machines() {
+            assert_eq!(c.verdict(m.vertical_balance()), BandwidthVerdict::BandwidthBound);
+        }
+    }
+
+    #[test]
+    fn horizontal_upper_bound_clears_network() {
+        // CG's horizontal ratio 6·N^{1/3}/(20n) with n=1000, N=2048 nodes:
+        // ≈ 0.0038 — below both machines' horizontal balance.
+        let ub = 6.0 * (2048f64).powf(1.0 / 3.0) / (20.0 * 1000.0);
+        let c = Constraint::upper(ub);
+        for m in specs::table1_machines() {
+            assert_eq!(
+                c.verdict(m.horizontal_balance()),
+                BandwidthVerdict::NotBandwidthBound
+            );
+        }
+    }
+
+    #[test]
+    fn inconclusive_when_balance_inside_sandwich() {
+        let c = Constraint::sandwich(0.01, 0.10);
+        assert_eq!(c.verdict(0.05), BandwidthVerdict::Inconclusive);
+        assert_eq!(c.verdict(0.005), BandwidthVerdict::BandwidthBound);
+        assert_eq!(c.verdict(0.5), BandwidthVerdict::NotBandwidthBound);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_sandwich_panics() {
+        let _ = Constraint::sandwich(1.0, 0.1);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(BandwidthVerdict::BandwidthBound.to_string(), "bandwidth-bound");
+        assert_eq!(
+            BandwidthVerdict::NotBandwidthBound.to_string(),
+            "not bandwidth-bound"
+        );
+        assert_eq!(BandwidthVerdict::Inconclusive.to_string(), "inconclusive");
+    }
+}

@@ -1,0 +1,287 @@
+//! The `(N_l, S_l)` memory-hierarchy structure of the P-RBW model.
+
+use serde::{Deserialize, Serialize};
+
+/// One storage level of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Level {
+    /// Human-readable name ("registers", "L2", "DRAM", …).
+    pub name: String,
+    /// `N_l` — number of storage units at this level.
+    pub units: usize,
+    /// `S_l` — capacity of each unit, in words.
+    pub capacity_words: u64,
+}
+
+impl Level {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, units: usize, capacity_words: u64) -> Self {
+        Level {
+            name: name.into(),
+            units,
+            capacity_words,
+        }
+    }
+
+    /// Aggregate capacity of the level: `N_l × S_l` words.
+    pub fn total_capacity_words(&self) -> u64 {
+        self.units as u64 * self.capacity_words
+    }
+}
+
+/// Errors reported by [`MemoryHierarchy::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// Fewer than two levels were supplied (the model needs at least
+    /// registers and main memory).
+    TooFewLevels,
+    /// `N_l` must be non-increasing from level 1 up to level L.
+    UnitsNotMonotone(usize),
+    /// `N_{l}` must divide `N_{l-1}` so that each level-`l-1` unit has a
+    /// unique parent.
+    UnitsNotDivisible(usize),
+    /// A level has zero units or zero capacity.
+    Degenerate(usize),
+}
+
+impl std::fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyError::TooFewLevels => write!(f, "hierarchy needs at least two levels"),
+            HierarchyError::UnitsNotMonotone(l) => {
+                write!(f, "level {l} has more units than level {}", l - 1)
+            }
+            HierarchyError::UnitsNotDivisible(l) => {
+                write!(f, "units at level {} do not divide units at level {l}", l + 1)
+            }
+            HierarchyError::Degenerate(l) => write!(f, "level {l} has zero units or capacity"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+/// A multi-level memory hierarchy: `levels[0]` is level 1 (fastest, e.g.
+/// per-processor registers), `levels[L-1]` is level `L` (the distributed
+/// main memories). The number of processors `P` equals `N_1`.
+///
+/// Invariants (validated on construction, per Section 3.4):
+/// * at least two levels;
+/// * `N_1 ≥ N_2 ≥ … ≥ N_L ≥ 1`, with `N_{l+1} | N_l` so every unit has a
+///   unique parent;
+/// * all `N_l, S_l > 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    levels: Vec<Level>,
+}
+
+impl MemoryHierarchy {
+    /// Validates and constructs a hierarchy; `levels[0]` is level 1.
+    pub fn new(levels: Vec<Level>) -> Result<Self, HierarchyError> {
+        if levels.len() < 2 {
+            return Err(HierarchyError::TooFewLevels);
+        }
+        for (i, l) in levels.iter().enumerate() {
+            if l.units == 0 || l.capacity_words == 0 {
+                return Err(HierarchyError::Degenerate(i + 1));
+            }
+        }
+        for i in 1..levels.len() {
+            if levels[i].units > levels[i - 1].units {
+                return Err(HierarchyError::UnitsNotMonotone(i + 1));
+            }
+            if levels[i - 1].units % levels[i].units != 0 {
+                return Err(HierarchyError::UnitsNotDivisible(i));
+            }
+        }
+        Ok(MemoryHierarchy { levels })
+    }
+
+    /// The classic two-level Hong–Kung machine: one processor with `s` words
+    /// of fast memory and an unbounded (here: `u64::MAX`-word) slow memory.
+    pub fn two_level(s: u64) -> Self {
+        MemoryHierarchy::new(vec![
+            Level::new("fast", 1, s),
+            Level::new("slow", 1, u64::MAX),
+        ])
+        .expect("two-level hierarchy is always valid")
+    }
+
+    /// A shared-memory multicore: `p` processors with `s1` words of private
+    /// storage each, one shared cache of `s2` words, one main memory.
+    pub fn multicore(p: usize, s1: u64, s2: u64) -> Self {
+        MemoryHierarchy::new(vec![
+            Level::new("registers", p, s1),
+            Level::new("shared-cache", 1, s2),
+            Level::new("DRAM", 1, u64::MAX),
+        ])
+        .expect("multicore hierarchy is always valid")
+    }
+
+    /// A distributed multi-node multicore machine matching the paper's
+    /// Figure 1: `nodes` nodes × `cores` cores; per-core registers `s1`,
+    /// per-node shared cache `s2`, per-node main memory `s3` (all in words).
+    pub fn cluster(nodes: usize, cores: usize, s1: u64, s2: u64, s3: u64) -> Self {
+        MemoryHierarchy::new(vec![
+            Level::new("registers", nodes * cores, s1),
+            Level::new("L2", nodes, s2),
+            Level::new("DRAM", nodes, s3),
+        ])
+        .expect("cluster hierarchy is always valid")
+    }
+
+    /// Number of levels `L`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of processors `P = N_1`.
+    pub fn processors(&self) -> usize {
+        self.levels[0].units
+    }
+
+    /// The level at 1-based index `l` (matching the paper's subscripts).
+    pub fn level(&self, l: usize) -> &Level {
+        assert!(l >= 1 && l <= self.levels.len(), "level index out of range");
+        &self.levels[l - 1]
+    }
+
+    /// All levels, fastest first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// `N_l` — units at 1-based level `l`.
+    pub fn units(&self, l: usize) -> usize {
+        self.level(l).units
+    }
+
+    /// `S_l` — per-unit capacity at 1-based level `l`.
+    pub fn capacity(&self, l: usize) -> u64 {
+        self.level(l).capacity_words
+    }
+
+    /// Children of each level-`l` unit: `N_{l-1} / N_l` (1-based, `l ≥ 2`).
+    pub fn children_per_unit(&self, l: usize) -> usize {
+        assert!(l >= 2, "level 1 has no children");
+        self.units(l - 1) / self.units(l)
+    }
+
+    /// Processors sharing one level-`l` unit: `P / N_l` (the paper's
+    /// `|P^i_l|`).
+    pub fn processors_per_unit(&self, l: usize) -> usize {
+        self.processors() / self.units(l)
+    }
+
+    /// Storage available *below* level `l` to the processors of one
+    /// level-`l` unit: `S_{l-1} × N_{l-1} / N_l` words (Section 3.4).
+    pub fn child_capacity_per_unit(&self, l: usize) -> u64 {
+        assert!(l >= 2);
+        self.capacity(l - 1) * (self.children_per_unit(l) as u64)
+    }
+
+    /// Aggregate fast storage below level `l` across the whole machine:
+    /// `S_{l-1} × N_{l-1}` (the `IO_1(C, S_{l-1} N_{l-1})` capacity of
+    /// Theorem 5).
+    pub fn aggregate_child_capacity(&self, l: usize) -> u64 {
+        assert!(l >= 2);
+        self.capacity(l - 1) * self.units(l - 1) as u64
+    }
+
+    /// ASCII rendering in the spirit of the paper's Figure 1.
+    pub fn render_ascii(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "interconnection network");
+        let _ = writeln!(out, "{}", "=".repeat(40));
+        for (i, l) in self.levels.iter().enumerate().rev() {
+            let lvl = i + 1;
+            let cap = if l.capacity_words == u64::MAX {
+                "unbounded".to_string()
+            } else {
+                format!("{} words", l.capacity_words)
+            };
+            let _ = writeln!(
+                out,
+                "level {lvl}: {:>3} x [{:^14}] ({cap} each)",
+                l.units, l.name
+            );
+            if i > 0 {
+                let fanout = self.levels[i - 1].units / l.units;
+                let _ = writeln!(out, "         |  fan-out {fanout}");
+            }
+        }
+        let _ = writeln!(out, "processors: P = {}", self.processors());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_dimensions() {
+        let h = MemoryHierarchy::cluster(4, 8, 64, 1 << 20, 1 << 30);
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.processors(), 32);
+        assert_eq!(h.units(1), 32);
+        assert_eq!(h.units(2), 4);
+        assert_eq!(h.units(3), 4);
+        assert_eq!(h.children_per_unit(2), 8);
+        assert_eq!(h.children_per_unit(3), 1);
+        assert_eq!(h.processors_per_unit(2), 8);
+        assert_eq!(h.processors_per_unit(3), 8);
+        assert_eq!(h.child_capacity_per_unit(2), 8 * 64);
+        assert_eq!(h.aggregate_child_capacity(2), 32 * 64);
+    }
+
+    #[test]
+    fn two_level_is_hong_kung() {
+        let h = MemoryHierarchy::two_level(100);
+        assert_eq!(h.num_levels(), 2);
+        assert_eq!(h.processors(), 1);
+        assert_eq!(h.capacity(1), 100);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert_eq!(
+            MemoryHierarchy::new(vec![Level::new("only", 1, 10)]).unwrap_err(),
+            HierarchyError::TooFewLevels
+        );
+        assert_eq!(
+            MemoryHierarchy::new(vec![Level::new("r", 2, 10), Level::new("m", 4, 10)]).unwrap_err(),
+            HierarchyError::UnitsNotMonotone(2)
+        );
+        assert_eq!(
+            MemoryHierarchy::new(vec![Level::new("r", 6, 10), Level::new("m", 4, 10)]).unwrap_err(),
+            HierarchyError::UnitsNotDivisible(1)
+        );
+        assert_eq!(
+            MemoryHierarchy::new(vec![Level::new("r", 0, 10), Level::new("m", 1, 10)]).unwrap_err(),
+            HierarchyError::Degenerate(1)
+        );
+        assert_eq!(
+            MemoryHierarchy::new(vec![Level::new("r", 1, 0), Level::new("m", 1, 10)]).unwrap_err(),
+            HierarchyError::Degenerate(1)
+        );
+    }
+
+    #[test]
+    fn level_accessor_is_one_based() {
+        let h = MemoryHierarchy::multicore(4, 32, 1024);
+        assert_eq!(h.level(1).name, "registers");
+        assert_eq!(h.level(3).name, "DRAM");
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_every_level() {
+        let h = MemoryHierarchy::cluster(2, 4, 64, 4096, 1 << 20);
+        let art = h.render_ascii();
+        assert!(art.contains("registers"));
+        assert!(art.contains("L2"));
+        assert!(art.contains("DRAM"));
+        assert!(art.contains("P = 8"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # dmc-machine — parallel machine models
+//!
+//! The paper (Section 3.4, Figure 1) models a scalable parallel computer as
+//! `N_L` nodes with local main memory connected by an interconnect, each
+//! node holding `P / N_L` cores that share a multi-level cache hierarchy:
+//! level 1 is private registers/L1 (capacity `S_1` per processor), levels
+//! `1 < l < L` have `N_l` caches of `S_l` words each, and a level-`l` cache
+//! has a unique parent at level `l+1`.
+//!
+//! This crate provides:
+//!
+//! * [`hierarchy::MemoryHierarchy`] — the `(N_l, S_l)` level structure the
+//!   Parallel-RBW pebble game of `dmc-core` plays on, including an ASCII
+//!   rendering of the paper's Figure 1;
+//! * [`balance`] — *machine balance* parameters: the ratio of peak memory
+//!   (or interconnect) bandwidth to peak floating-point throughput, in
+//!   words/FLOP (Section 5);
+//! * [`specs`] — the machine database, including the two systems of the
+//!   paper's Table 1 (IBM BG/Q and Cray XT5) reconstructed from their
+//!   physical parameters;
+//! * [`constraint`] — the bandwidth-bound decision rules of Equations 7–10.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod balance;
+pub mod constraint;
+pub mod hierarchy;
+pub mod specs;
+
+pub use balance::MachineSpec;
+pub use constraint::{BandwidthVerdict, Constraint};
+pub use hierarchy::{Level, MemoryHierarchy};

@@ -1,0 +1,186 @@
+//! Machine database.
+//!
+//! The two systems of the paper's Table 1 are reconstructed from their
+//! published physical parameters; the derived balance columns then agree
+//! with the table to the printed precision:
+//!
+//! | Machine  | Nodes | Mem (GB) | LLC (MB) | Vert. | Horiz. |
+//! |----------|-------|----------|----------|-------|--------|
+//! | IBM BG/Q | 2048  | 16       | 32       | 0.052 | 0.049  |
+//! | Cray XT5 | 9408  | 16       | 6        | 0.0256| 0.058  |
+//!
+//! *BG/Q*: 16 cores × 1.6 GHz × 4 FLOPs/cycle = 102.4 GFLOP/s/node;
+//! 42.6 GB/s DDR3 → 42.6/8/102.4 ≈ 0.052 words/FLOP; 10 torus links ×
+//! 4 GB/s = 40 GB/s injection → 0.049 words/FLOP.
+//!
+//! *Cray XT5 (Jaguar)*: 2 × 6-core Opteron @ 2.6 GHz × 4 FLOPs/cycle =
+//! 124.8 GFLOP/s/node; 25.6 GB/s DDR2 → 0.0256; SeaStar2+ 57.6 GB/s →
+//! 0.058.
+
+use crate::balance::MachineSpec;
+
+/// IBM Blue Gene/Q, as in Table 1 (2048-node configuration).
+pub fn ibm_bgq() -> MachineSpec {
+    MachineSpec {
+        name: "IBM BG/Q".to_string(),
+        nodes: 2048,
+        cores_per_node: 16,
+        gflops_per_core: 6.4, // 1.6 GHz × 4 FLOPs/cycle (FMA × 2-wide)
+        memory_gb: 16.0,
+        llc_mb: 32.0,
+        dram_bandwidth_gbs: 42.6,
+        network_bandwidth_gbs: 40.0,
+        word_bytes: 8.0,
+    }
+}
+
+/// Cray XT5 ("Jaguar" class), as in Table 1 (9408-node configuration).
+pub fn cray_xt5() -> MachineSpec {
+    MachineSpec {
+        name: "Cray XT5".to_string(),
+        nodes: 9408,
+        cores_per_node: 12,
+        gflops_per_core: 10.4, // 2.6 GHz × 4 FLOPs/cycle
+        memory_gb: 16.0,
+        llc_mb: 6.0,
+        dram_bandwidth_gbs: 25.6,
+        network_bandwidth_gbs: 57.6,
+        word_bytes: 8.0,
+    }
+}
+
+/// The exact machine list of the paper's Table 1.
+pub fn table1_machines() -> Vec<MachineSpec> {
+    vec![ibm_bgq(), cray_xt5()]
+}
+
+/// Fujitsu K computer (contemporary with the paper; SPARC64 VIIIfx,
+/// 8 c × 16 GF, 64 GB/s memory, Tofu 6D torus ~20 GB/s injection). Not in
+/// Table 1; included to extend the balance comparison.
+pub fn k_computer() -> MachineSpec {
+    MachineSpec {
+        name: "K computer".to_string(),
+        nodes: 82944,
+        cores_per_node: 8,
+        gflops_per_core: 16.0,
+        memory_gb: 16.0,
+        llc_mb: 6.0,
+        dram_bandwidth_gbs: 64.0,
+        network_bandwidth_gbs: 20.0,
+        word_bytes: 8.0,
+    }
+}
+
+/// A Summit-like GPU-accelerated node (2 × ~22-core + 6 GPUs abstracted
+/// as a single 42 TF node with 900 GB/s HBM-class aggregate bandwidth) —
+/// illustrating that accelerator nodes push the vertical balance *down*
+/// despite enormous raw bandwidth.
+pub fn summit_like_node() -> MachineSpec {
+    MachineSpec {
+        name: "Summit-like".to_string(),
+        nodes: 4608,
+        cores_per_node: 44,
+        gflops_per_core: 954.5, // ~42 TF/node spread over 44 "cores"
+        memory_gb: 512.0,
+        llc_mb: 120.0,
+        dram_bandwidth_gbs: 5400.0, // aggregate HBM2 across the node
+        network_bandwidth_gbs: 25.0,
+        word_bytes: 8.0,
+    }
+}
+
+/// Extended machine list: Table 1 plus the later systems.
+pub fn extended_machines() -> Vec<MachineSpec> {
+    let mut v = table1_machines();
+    v.push(k_computer());
+    v.push(summit_like_node());
+    v.push(projected_exascale_node());
+    v
+}
+
+/// A projected exascale-era node with a far lower balance — used by the
+/// examples to illustrate the paper's thesis that vertical balance keeps
+/// shrinking. (Not part of Table 1.)
+pub fn projected_exascale_node() -> MachineSpec {
+    MachineSpec {
+        name: "Projected-X".to_string(),
+        nodes: 65536,
+        cores_per_node: 128,
+        gflops_per_core: 32.0,
+        memory_gb: 256.0,
+        llc_mb: 256.0,
+        dram_bandwidth_gbs: 400.0,
+        network_bandwidth_gbs: 100.0,
+        word_bytes: 8.0,
+    }
+}
+
+/// Prints the header + rows of Table 1.
+pub fn format_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>8} {:>8} {:>10} {:>10}\n",
+        "Machine", "Nodes", "Mem(GB)", "LLC(MB)", "Vert(w/F)", "Horiz(w/F)"
+    ));
+    for m in table1_machines() {
+        out.push_str(&m.table1_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_both_machines() {
+        let t = table1_machines();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].name, "IBM BG/Q");
+        assert_eq!(t[1].name, "Cray XT5");
+    }
+
+    #[test]
+    fn formatted_table_has_three_lines() {
+        let s = format_table1();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("Vert(w/F)"));
+    }
+
+    #[test]
+    fn projected_machine_has_worse_vertical_balance() {
+        let x = projected_exascale_node();
+        let bgq = ibm_bgq();
+        assert!(x.vertical_balance() < bgq.vertical_balance());
+    }
+
+    #[test]
+    fn extended_list_superset_of_table1() {
+        let ext = extended_machines();
+        assert!(ext.len() >= 5);
+        assert_eq!(ext[0].name, "IBM BG/Q");
+        // All machines have positive balances.
+        for m in &ext {
+            assert!(m.vertical_balance() > 0.0 && m.horizontal_balance() > 0.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn k_computer_balance_regime() {
+        // K's 64 GB/s on 128 GF/node gives a relatively generous 0.0625
+        // vertical balance — better than BG/Q's.
+        let k = k_computer();
+        assert!((k.vertical_balance() - 0.0625).abs() < 1e-9);
+        assert!(k.vertical_balance() > ibm_bgq().vertical_balance());
+    }
+
+    #[test]
+    fn accelerator_node_balance_trend() {
+        // Summit-like: huge bandwidth but even bigger FLOPs — vertical
+        // balance sits near BG/Q levels; horizontal collapses.
+        let s = summit_like_node();
+        assert!(s.vertical_balance() < 0.02);
+        assert!(s.horizontal_balance() < ibm_bgq().horizontal_balance() / 10.0);
+    }
+}

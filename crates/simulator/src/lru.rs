@@ -1,0 +1,253 @@
+//! Word-granularity LRU cache.
+//!
+//! Implemented as a hash map into an intrusive doubly-linked list over a
+//! slab, so `touch`/`insert`/`evict` are all O(1). Addresses are abstract
+//! `u64` word ids (one CDAG value = one word).
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    addr: u64,
+    prev: u32,
+    next: u32,
+    dirty: bool,
+}
+
+/// A fixed-capacity LRU set of words with dirty bits.
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    slab: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+}
+
+impl LruCache {
+    /// Creates an empty cache holding up to `capacity` words.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Word capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `true` if `addr` is resident (does not touch recency).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.map.contains_key(&addr)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (p, n) = (self.slab[idx as usize].prev, self.slab[idx as usize].next);
+        if p != NIL {
+            self.slab[p as usize].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.slab[n as usize].prev = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.slab[idx as usize].prev = NIL;
+        self.slab[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Marks `addr` most-recently-used; returns `true` on hit.
+    pub fn touch(&mut self, addr: u64) -> bool {
+        match self.map.get(&addr).copied() {
+            Some(idx) => {
+                self.unlink(idx);
+                self.push_front(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `addr` (MRU position) with the given dirty bit, evicting the
+    /// LRU entry if full. Returns the evicted `(addr, dirty)` if any.
+    /// Inserting an already-resident address refreshes recency and ORs the
+    /// dirty bit.
+    pub fn insert(&mut self, addr: u64, dirty: bool) -> Option<(u64, bool)> {
+        if let Some(&idx) = self.map.get(&addr) {
+            self.slab[idx as usize].dirty |= dirty;
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let node = self.slab[victim as usize];
+            self.unlink(victim);
+            self.map.remove(&node.addr);
+            self.free.push(victim);
+            Some((node.addr, node.dirty))
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Node {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                    dirty,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Node {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                    dirty,
+                });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.map.insert(addr, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Marks a resident address dirty; no-op when absent.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        if let Some(&idx) = self.map.get(&addr) {
+            self.slab[idx as usize].dirty = true;
+        }
+    }
+
+    /// Removes `addr` if resident; returns its dirty bit.
+    pub fn remove(&mut self, addr: u64) -> Option<bool> {
+        let idx = self.map.remove(&addr)?;
+        let dirty = self.slab[idx as usize].dirty;
+        self.unlink(idx);
+        self.free.push(idx);
+        Some(dirty)
+    }
+
+    /// Drains all entries, returning the dirty ones (used at simulation
+    /// end to flush write-backs).
+    pub fn flush_dirty(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = &self.slab[cur as usize];
+            if n.dirty {
+                dirty.push(n.addr);
+            }
+            cur = n.next;
+        }
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut c = LruCache::new(2);
+        assert!(!c.touch(1));
+        assert_eq!(c.insert(1, false), None);
+        assert_eq!(c.insert(2, false), None);
+        assert!(c.touch(1)); // 1 now MRU, 2 is LRU
+        let ev = c.insert(3, false);
+        assert_eq!(ev, Some((2, false)));
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn dirty_bits_travel_with_eviction() {
+        let mut c = LruCache::new(1);
+        c.insert(7, true);
+        let ev = c.insert(8, false);
+        assert_eq!(ev, Some((7, true)));
+    }
+
+    #[test]
+    fn reinsert_ors_dirty_and_refreshes() {
+        let mut c = LruCache::new(2);
+        c.insert(1, false);
+        c.insert(2, false);
+        c.insert(1, true); // refresh, now dirty; 2 is LRU
+        let ev = c.insert(3, false);
+        assert_eq!(ev, Some((2, false)));
+        let ev = c.insert(4, false);
+        assert_eq!(ev, Some((1, true)));
+    }
+
+    #[test]
+    fn mark_dirty_and_remove() {
+        let mut c = LruCache::new(4);
+        c.insert(5, false);
+        c.mark_dirty(5);
+        assert_eq!(c.remove(5), Some(true));
+        assert_eq!(c.remove(5), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn flush_returns_only_dirty() {
+        let mut c = LruCache::new(4);
+        c.insert(1, true);
+        c.insert(2, false);
+        c.insert(3, true);
+        let mut d = c.flush_dirty();
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 3]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slab_reuse_after_heavy_churn() {
+        let mut c = LruCache::new(8);
+        for i in 0..10_000u64 {
+            c.insert(i, i % 3 == 0);
+        }
+        assert_eq!(c.len(), 8);
+        // Slab stays bounded (free-list reuse).
+        assert!(c.slab.len() <= 16);
+    }
+}

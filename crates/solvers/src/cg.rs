@@ -1,0 +1,144 @@
+//! Conjugate Gradient (Hestenes–Stiefel), the pseudocode of the paper's
+//! Figure 3, over any operator given as a closure `y ← A·x`.
+
+use crate::vector::{axpy, dot, norm2, xpby};
+
+/// Convergence/work statistics of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// The approximate solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − Ax‖₂`.
+    pub residual_norm: f64,
+    /// Residual norm after each iteration.
+    pub history: Vec<f64>,
+    /// `true` if the tolerance was reached within the iteration cap.
+    pub converged: bool,
+}
+
+/// Solves `A·x = b` for a symmetric positive-definite operator.
+///
+/// * `apply_a(x, y)` computes `y ← A·x`;
+/// * `x0` is the initial guess;
+/// * stops when `‖r‖₂ ≤ tol·‖b‖₂` or after `max_iter` iterations.
+pub fn cg<F>(apply_a: F, b: &[f64], x0: &[f64], tol: f64, max_iter: usize) -> CgResult
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = b.len();
+    assert_eq!(x0.len(), n);
+    let mut x = x0.to_vec();
+    let mut v = vec![0.0; n];
+    // r = b − A x.
+    apply_a(&x, &mut v);
+    let mut r: Vec<f64> = b.iter().zip(&v).map(|(bi, vi)| bi - vi).collect();
+    let mut p = r.clone();
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut rr = dot(&r, &r);
+    let mut history = Vec::new();
+    let mut iterations = 0;
+
+    while iterations < max_iter {
+        let res = rr.sqrt();
+        history.push(res);
+        if res <= tol * b_norm {
+            return CgResult {
+                x,
+                iterations,
+                residual_norm: res,
+                history,
+                converged: true,
+            };
+        }
+        apply_a(&p, &mut v); // v = A p
+        let pv = dot(&p, &v);
+        assert!(pv > 0.0, "operator is not positive definite (p·Ap = {pv})");
+        let alpha = rr / pv;
+        axpy(alpha, &p, &mut x); // x += α p
+        axpy(-alpha, &v, &mut r); // r −= α v
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr;
+        xpby(&r, beta, &mut p); // p = r + β p
+        rr = rr_new;
+        iterations += 1;
+    }
+    let res = rr.sqrt();
+    history.push(res);
+    CgResult {
+        x,
+        iterations,
+        residual_norm: res,
+        history,
+        converged: res <= tol * b_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridOperator;
+    use crate::vector::max_abs_diff;
+
+    #[test]
+    fn solves_identity_instantly() {
+        let b = vec![3.0, -1.0, 2.0];
+        let r = cg(|x, y| y.copy_from_slice(x), &b, &[0.0; 3], 1e-12, 10);
+        assert!(r.converged);
+        assert!(max_abs_diff(&r.x, &b) < 1e-10);
+        assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn solves_1d_laplacian() {
+        let op = GridOperator::new(32, 1);
+        let b = op.manufactured_rhs();
+        let r = cg(|x, y| op.apply(x, y), &b, &vec![0.0; op.len()], 1e-10, 200);
+        assert!(r.converged, "residual {}", r.residual_norm);
+        // Verify: A x ≈ b.
+        let mut ax = vec![0.0; op.len()];
+        op.apply(&r.x, &mut ax);
+        assert!(max_abs_diff(&ax, &b) < 1e-7);
+    }
+
+    #[test]
+    fn solves_3d_poisson() {
+        let op = GridOperator::new(8, 3);
+        let b = op.manufactured_rhs();
+        let r = cg(|x, y| op.apply(x, y), &b, &vec![0.0; op.len()], 1e-9, 500);
+        assert!(r.converged);
+        let mut ax = vec![0.0; op.len()];
+        op.apply(&r.x, &mut ax);
+        assert!(max_abs_diff(&ax, &b) < 1e-6);
+    }
+
+    #[test]
+    fn cg_converges_in_at_most_n_iterations() {
+        // Exact-arithmetic CG terminates in n steps; allow slack for
+        // floating point.
+        let op = GridOperator::new(10, 1);
+        let b = op.manufactured_rhs();
+        let r = cg(|x, y| op.apply(x, y), &b, &vec![0.0; 10], 1e-12, 30);
+        assert!(r.converged);
+        assert!(r.iterations <= 15, "{} iterations", r.iterations);
+    }
+
+    #[test]
+    fn residual_history_is_recorded() {
+        let op = GridOperator::new(16, 1);
+        let b = op.generic_rhs();
+        let r = cg(|x, y| op.apply(x, y), &b, &vec![0.0; 16], 1e-10, 100);
+        assert_eq!(r.history.len(), r.iterations + 1);
+        assert!(r.history.last().unwrap() < r.history.first().unwrap());
+    }
+
+    #[test]
+    fn honest_about_non_convergence() {
+        let op = GridOperator::new(64, 2);
+        let b = op.generic_rhs();
+        let r = cg(|x, y| op.apply(x, y), &b, &vec![0.0; op.len()], 1e-14, 2);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+    }
+}

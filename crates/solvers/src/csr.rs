@@ -1,0 +1,187 @@
+//! Compressed-sparse-row matrices.
+
+/// A CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
+    /// entries are summed.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(usize, usize, f64)>,
+    ) -> Self {
+        for &(r, c, _) in &triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Sum duplicates.
+        let mut dedup: Vec<(usize, usize, f64)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            match dedup.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => dedup.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &dedup {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let (col_idx, values) = dedup.into_iter().map(|(_, c, v)| (c, v)).unzip();
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_triplets(n, n, (0..n).map(|i| (i, i, 1.0)).collect())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(col, value)` entries of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        self.col_idx[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
+    }
+
+    /// `y ← A·x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Allocating SpMV.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// Extracts the diagonal (0.0 for missing entries).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .find(|&(c, _)| c == r)
+                    .map(|(_, v)| v)
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// `true` if the matrix equals its transpose (exact comparison).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let vt = self
+                    .row(c)
+                    .find(|&(cc, _)| cc == r)
+                    .map(|(_, v)| v)
+                    .unwrap_or(0.0);
+                if (v - vt).abs() > 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_spmv() {
+        // [2 1 0; 0 3 0; 1 0 4]
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 1.0), (2, 2, 4.0)],
+        );
+        assert_eq!(a.nnz(), 5);
+        let y = a.apply(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![4.0, 6.0, 13.0]);
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.apply(&[1.0, 0.0]), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CsrMatrix::identity(4);
+        let x = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(i.apply(&x), x);
+        assert!(i.is_symmetric());
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 5.0), (1, 1, 7.0)]);
+        assert_eq!(a.diagonal(), vec![0.0, 7.0]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)],
+        );
+        assert!(sym.is_symmetric());
+        let asym = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let _ = CsrMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+}

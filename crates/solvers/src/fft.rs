@@ -1,0 +1,201 @@
+//! Iterative radix-2 complex FFT — the executable counterpart of the
+//! butterfly CDAG in `dmc-kernels::fft` (the kernel family Savage and
+//! Ranjan–Savage–Zubair derive sharpened I/O bounds for).
+
+/// A complex number as a bare (re, im) pair — no external dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs `re + i·im`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// `inverse = true` computes the unscaled inverse transform (divide by `n`
+/// afterwards to invert exactly, as [`ifft`] does).
+pub fn fft_in_place(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2].mul(w);
+                x[start + k] = u.add(v);
+                x[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT (allocating).
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let mut y = x.to_vec();
+    fft_in_place(&mut y, false);
+    y
+}
+
+/// Exact inverse FFT (allocating, includes the `1/n` scaling).
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let mut y = x.to_vec();
+    fft_in_place(&mut y, true);
+    let scale = 1.0 / x.len() as f64;
+    for v in &mut y {
+        v.re *= scale;
+        v.im *= scale;
+    }
+    y
+}
+
+/// Naive `O(n²)` DFT used as the test oracle.
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (j, &v) in x.iter().enumerate() {
+                let w = Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                acc = acc.add(v.mul(w));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.sub(*y).norm_sq().sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut x = vec![Complex::default(); 8];
+        x[0] = Complex::new(1.0, 0.0);
+        let y = fft(&x);
+        for v in y {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let x = signal(n);
+            let err = max_err(&fft(&x), &dft_naive(&x));
+            assert!(err < 1e-9, "n={n}: err {err}");
+        }
+    }
+
+    #[test]
+    fn round_trip_inverts() {
+        let x = signal(256);
+        let err = max_err(&ifft(&fft(&x)), &x);
+        assert!(err < 1e-11, "{err}");
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x = signal(128);
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / 128.0;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = signal(32);
+        let b: Vec<Complex> = signal(32).iter().map(|v| v.mul(Complex::new(0.0, 2.0))).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        let lhs = fft(&sum);
+        let rhs: Vec<Complex> = fft(&a).iter().zip(&fft(&b)).map(|(x, y)| x.add(*y)).collect();
+        assert!(max_err(&lhs, &rhs) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex::default(); 12];
+        fft_in_place(&mut x, false);
+    }
+
+    #[test]
+    fn flop_count_matches_cdag_size() {
+        // The butterfly CDAG of dmc-kernels has n·log2(n) compute
+        // vertices; our implementation performs exactly n/2·log2(n)
+        // butterflies (each = 2 CDAG vertices).
+        let n = 64usize;
+        let stages = n.trailing_zeros() as usize;
+        let butterflies = n / 2 * stages;
+        assert_eq!(2 * butterflies, n * stages);
+    }
+}

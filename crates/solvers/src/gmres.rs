@@ -1,0 +1,241 @@
+//! Restarted GMRES with modified Gram–Schmidt and Givens rotations — the
+//! pseudocode of the paper's Figure 4.
+
+use crate::vector::{dot, norm2};
+
+/// Convergence/work statistics of a GMRES solve.
+#[derive(Debug, Clone)]
+pub struct GmresResult {
+    /// The approximate solution.
+    pub x: Vec<f64>,
+    /// Total inner iterations performed (Krylov vectors built).
+    pub iterations: usize,
+    /// Number of restarts taken.
+    pub restarts: usize,
+    /// Final residual norm estimate.
+    pub residual_norm: f64,
+    /// Residual estimate after each inner iteration.
+    pub history: Vec<f64>,
+    /// `true` if the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A·x = b` with GMRES(m) for a general (possibly non-symmetric)
+/// operator.
+///
+/// * `apply_a(x, y)` computes `y ← A·x`;
+/// * `m` is the Krylov dimension between restarts;
+/// * stops when the Givens-estimated residual `≤ tol·‖b‖₂`, or after
+///   `max_restarts` outer cycles.
+pub fn gmres<F>(
+    apply_a: F,
+    b: &[f64],
+    x0: &[f64],
+    m: usize,
+    tol: f64,
+    max_restarts: usize,
+) -> GmresResult
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = b.len();
+    assert!(m >= 1 && n >= 1);
+    assert_eq!(x0.len(), n);
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut x = x0.to_vec();
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    let mut scratch = vec![0.0; n];
+
+    for restart in 0..=max_restarts {
+        // r0 = b − A x.
+        apply_a(&x, &mut scratch);
+        let r0: Vec<f64> = b.iter().zip(&scratch).map(|(bi, vi)| bi - vi).collect();
+        let beta = norm2(&r0);
+        if beta <= tol * b_norm {
+            return GmresResult {
+                x,
+                iterations: total_iters,
+                restarts: restart,
+                residual_norm: beta,
+                history,
+                converged: true,
+            };
+        }
+        // Krylov basis V and Hessenberg H (column-major, m+1 rows used).
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        basis.push(r0.iter().map(|v| v / beta).collect());
+        let mut h = vec![vec![0.0f64; m]; m + 2]; // h[row][col]
+        // Givens rotation state and transformed rhs g.
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut k_done = 0usize;
+
+        for k in 0..m {
+            // w = A v_k, orthogonalized against the basis (MGS).
+            apply_a(&basis[k], &mut scratch);
+            let mut w = scratch.clone();
+            for (j, vj) in basis.iter().enumerate() {
+                let hjk = dot(&w, vj);
+                h[j][k] = hjk;
+                for (wi, vji) in w.iter_mut().zip(vj) {
+                    *wi -= hjk * vji;
+                }
+            }
+            let hk1 = norm2(&w);
+            h[k + 1][k] = hk1;
+            // Apply the accumulated Givens rotations to column k.
+            for j in 0..k {
+                let t = cs[j] * h[j][k] + sn[j] * h[j + 1][k];
+                h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
+                h[j][k] = t;
+            }
+            // New rotation annihilating h[k+1][k].
+            let denom = (h[k][k] * h[k][k] + hk1 * hk1).sqrt();
+            if denom < f64::MIN_POSITIVE {
+                cs[k] = 1.0;
+                sn[k] = 0.0;
+            } else {
+                cs[k] = h[k][k] / denom;
+                sn[k] = hk1 / denom;
+            }
+            h[k][k] = cs[k] * h[k][k] + sn[k] * hk1;
+            h[k + 1][k] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+            total_iters += 1;
+            k_done = k + 1;
+            let res_est = g[k + 1].abs();
+            history.push(res_est);
+            if res_est <= tol * b_norm || hk1 < f64::MIN_POSITIVE {
+                break;
+            }
+            basis.push(w.iter().map(|v| v / hk1).collect());
+        }
+
+        // Back-substitute y from the triangularized H, update x.
+        let k = k_done;
+        let mut y = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            let mut acc = g[i];
+            for j in (i + 1)..k {
+                acc -= h[i][j] * y[j];
+            }
+            assert!(h[i][i].abs() > 0.0, "singular Hessenberg at {i}");
+            y[i] = acc / h[i][i];
+        }
+        for (j, yj) in y.iter().enumerate() {
+            for (xi, vji) in x.iter_mut().zip(&basis[j]) {
+                *xi += yj * vji;
+            }
+        }
+        let res_est = g[k].abs();
+        if res_est <= tol * b_norm {
+            return GmresResult {
+                x,
+                iterations: total_iters,
+                restarts: restart,
+                residual_norm: res_est,
+                history,
+                converged: true,
+            };
+        }
+    }
+    // Final true residual.
+    apply_a(&x, &mut scratch);
+    let res = b
+        .iter()
+        .zip(&scratch)
+        .map(|(bi, vi)| (bi - vi) * (bi - vi))
+        .sum::<f64>()
+        .sqrt();
+    GmresResult {
+        x,
+        iterations: total_iters,
+        restarts: max_restarts,
+        residual_norm: res,
+        history,
+        converged: res <= tol * b_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::grid::GridOperator;
+    use crate::vector::max_abs_diff;
+
+    #[test]
+    fn solves_identity() {
+        let b = vec![1.0, 2.0, 3.0];
+        let r = gmres(|x, y| y.copy_from_slice(x), &b, &[0.0; 3], 3, 1e-12, 5);
+        assert!(r.converged);
+        assert!(max_abs_diff(&r.x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn solves_spd_laplacian() {
+        let op = GridOperator::new(24, 1);
+        let b = op.generic_rhs();
+        let r = gmres(|x, y| op.apply(x, y), &b, &vec![0.0; 24], 24, 1e-10, 4);
+        assert!(r.converged, "residual {}", r.residual_norm);
+        let mut ax = vec![0.0; 24];
+        op.apply(&r.x, &mut ax);
+        assert!(max_abs_diff(&ax, &b) < 1e-7);
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        // Upwind-ish convection-diffusion: asymmetric tridiagonal.
+        let n = 20;
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            triplets.push((i, i, 3.0));
+            if i > 0 {
+                triplets.push((i, i - 1, -1.5));
+            }
+            if i + 1 < n {
+                triplets.push((i, i + 1, -0.5));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, triplets);
+        assert!(!a.is_symmetric());
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b = a.apply(&x_true);
+        let r = gmres(|x, y| a.spmv(x, y), &b, &vec![0.0; n], n, 1e-12, 3);
+        assert!(r.converged);
+        assert!(max_abs_diff(&r.x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn restarting_still_converges() {
+        let op = GridOperator::new(30, 1);
+        let b = op.generic_rhs();
+        // Tiny Krylov space m = 5 with many restarts.
+        let r = gmres(|x, y| op.apply(x, y), &b, &vec![0.0; 30], 5, 1e-8, 200);
+        assert!(r.converged, "residual {}", r.residual_norm);
+        assert!(r.restarts > 0);
+    }
+
+    #[test]
+    fn history_monotone_within_cycle() {
+        // The Givens residual estimate is non-increasing inside one cycle.
+        let op = GridOperator::new(16, 1);
+        let b = op.generic_rhs();
+        let r = gmres(|x, y| op.apply(x, y), &b, &vec![0.0; 16], 16, 1e-12, 1);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-9), "{} > {}", w[1], w[0]);
+        }
+    }
+
+    #[test]
+    fn honest_about_non_convergence() {
+        let op = GridOperator::new(40, 2);
+        let b = op.generic_rhs();
+        let r = gmres(|x, y| op.apply(x, y), &b, &vec![0.0; op.len()], 2, 1e-14, 1);
+        assert!(!r.converged);
+    }
+}

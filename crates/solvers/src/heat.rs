@@ -1,0 +1,157 @@
+//! The 1-D heat-equation model problem (Section 5.1, Figure 2).
+//!
+//! `∂u/∂t = ∂²u/∂x²` on a unit bar with zero-temperature (Dirichlet)
+//! boundaries, discretized with grid spacing `h = 1/(n+1)` and time step
+//! `k`, using the Crank–Nicolson scheme of Equation 11:
+//!
+//! ```text
+//! −a/2·U(i−1,m+1) + (1+a)·U(i,m+1) − a/2·U(i+1,m+1)
+//!   = a/2·U(i−1,m) + (1−a)·U(i,m) + a/2·U(i+1,m),     a = k/h²
+//! ```
+//!
+//! Each step solves the tridiagonal system with the Thomas algorithm. The
+//! module also provides the analytic separation-of-variables solution for
+//! validation.
+
+use crate::tridiag::Tridiagonal;
+
+/// Configuration of the discretized bar.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatProblem {
+    /// Interior grid points `n` (grid spacing `h = 1/(n+1)`).
+    pub n: usize,
+    /// Time step `k`.
+    pub dt: f64,
+}
+
+impl HeatProblem {
+    /// Creates a problem; `a = dt/h²` is unrestricted thanks to
+    /// Crank–Nicolson's unconditional stability.
+    pub fn new(n: usize, dt: f64) -> Self {
+        assert!(n >= 1 && dt > 0.0);
+        HeatProblem { n, dt }
+    }
+
+    /// Grid spacing `h`.
+    pub fn h(&self) -> f64 {
+        1.0 / (self.n as f64 + 1.0)
+    }
+
+    /// The mesh ratio `a = k/h²` of Equation 11.
+    pub fn mesh_ratio(&self) -> f64 {
+        self.dt / (self.h() * self.h())
+    }
+
+    /// Coordinates of the interior grid points.
+    pub fn grid(&self) -> Vec<f64> {
+        (1..=self.n).map(|i| i as f64 * self.h()).collect()
+    }
+
+    /// The left-hand-side matrix of Equation 11.
+    pub fn lhs_matrix(&self) -> Tridiagonal {
+        let a = self.mesh_ratio();
+        Tridiagonal::constant(self.n, -a / 2.0, 1.0 + a, -a / 2.0)
+    }
+
+    /// The right-hand side `b(·, m)` for the current field `u`.
+    pub fn rhs(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), self.n);
+        let a = self.mesh_ratio();
+        (0..self.n)
+            .map(|i| {
+                let left = if i > 0 { u[i - 1] } else { 0.0 };
+                let right = if i + 1 < self.n { u[i + 1] } else { 0.0 };
+                a / 2.0 * left + (1.0 - a) * u[i] + a / 2.0 * right
+            })
+            .collect()
+    }
+
+    /// Advances `u` by one Crank–Nicolson step.
+    pub fn step(&self, u: &[f64]) -> Vec<f64> {
+        self.lhs_matrix().solve(&self.rhs(u))
+    }
+
+    /// Advances `u0` by `steps` time steps.
+    pub fn run(&self, u0: &[f64], steps: usize) -> Vec<f64> {
+        let mut u = u0.to_vec();
+        for _ in 0..steps {
+            u = self.step(&u);
+        }
+        u
+    }
+
+    /// Analytic solution at time `t` for the initial condition
+    /// `u(x, 0) = sin(π x)`: `u(x, t) = e^{−π²t}·sin(π x)`.
+    pub fn analytic_sine_mode(&self, t: f64) -> Vec<f64> {
+        let pi = std::f64::consts::PI;
+        self.grid()
+            .into_iter()
+            .map(|x| (-pi * pi * t).exp() * (pi * x).sin())
+            .collect()
+    }
+
+    /// The `sin(π x)` initial condition matching
+    /// [`HeatProblem::analytic_sine_mode`].
+    pub fn sine_initial_condition(&self) -> Vec<f64> {
+        let pi = std::f64::consts::PI;
+        self.grid().into_iter().map(|x| (pi * x).sin()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::max_abs_diff;
+
+    #[test]
+    fn matches_analytic_solution() {
+        let p = HeatProblem::new(63, 1e-4);
+        let u0 = p.sine_initial_condition();
+        let steps = 200;
+        let u = p.run(&u0, steps);
+        let exact = p.analytic_sine_mode(steps as f64 * p.dt);
+        let err = max_abs_diff(&u, &exact);
+        assert!(err < 2e-4, "max error {err}");
+    }
+
+    #[test]
+    fn heat_decays_monotonically() {
+        let p = HeatProblem::new(31, 1e-3);
+        let mut u = p.sine_initial_condition();
+        let mut prev_max = f64::INFINITY;
+        for _ in 0..10 {
+            u = p.step(&u);
+            let cur_max = u.iter().cloned().fold(0.0, f64::max);
+            assert!(cur_max < prev_max);
+            prev_max = cur_max;
+        }
+    }
+
+    #[test]
+    fn boundaries_stay_cold() {
+        // Dirichlet: the solution decays everywhere; no artificial heat
+        // enters from the boundary rows.
+        let p = HeatProblem::new(9, 1e-3);
+        let u = p.run(&vec![1.0; 9], 100);
+        assert!(u.iter().all(|&v| v >= 0.0 && v < 1.0));
+        // Edge points cool fastest.
+        assert!(u[0] < u[4]);
+    }
+
+    #[test]
+    fn mesh_ratio_formula() {
+        let p = HeatProblem::new(9, 0.01);
+        // h = 0.1, a = 0.01/0.01 = 1.
+        assert!((p.mesh_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(p.grid().len(), 9);
+    }
+
+    #[test]
+    fn large_timestep_is_stable() {
+        // Crank–Nicolson is unconditionally stable: a = 40 doesn't blow up.
+        let p = HeatProblem::new(19, 0.1);
+        assert!(p.mesh_ratio() > 10.0);
+        let u = p.run(&p.sine_initial_condition(), 50);
+        assert!(u.iter().all(|v| v.abs() < 1.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! (Weighted) Jacobi iteration and raw stencil sweeps (Section 5.4).
+
+use crate::csr::CsrMatrix;
+
+/// Result of a Jacobi iterative solve.
+#[derive(Debug, Clone)]
+pub struct JacobiResult {
+    /// The approximate solution.
+    pub x: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Final residual norm.
+    pub residual_norm: f64,
+    /// `true` if the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A·x = b` by weighted Jacobi:
+/// `x ← x + ω·D⁻¹·(b − A·x)`, with `ω = 1` the classic method.
+pub fn jacobi_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    omega: f64,
+    tol: f64,
+    max_iter: usize,
+) -> JacobiResult {
+    let n = a.rows();
+    assert_eq!(b.len(), n);
+    assert_eq!(x0.len(), n);
+    let diag = a.diagonal();
+    assert!(
+        diag.iter().all(|d| d.abs() > 0.0),
+        "Jacobi requires a nonzero diagonal"
+    );
+    let b_norm = crate::vector::norm2(b).max(f64::MIN_POSITIVE);
+    let mut x = x0.to_vec();
+    let mut ax = vec![0.0; n];
+    for it in 0..max_iter {
+        a.spmv(&x, &mut ax);
+        let mut res_sq = 0.0;
+        for i in 0..n {
+            let r = b[i] - ax[i];
+            res_sq += r * r;
+            x[i] += omega * r / diag[i];
+        }
+        let res = res_sq.sqrt();
+        if res <= tol * b_norm {
+            return JacobiResult {
+                x,
+                iterations: it + 1,
+                residual_norm: res,
+                converged: true,
+            };
+        }
+    }
+    a.spmv(&x, &mut ax);
+    let res = b
+        .iter()
+        .zip(&ax)
+        .map(|(bi, vi)| (bi - vi) * (bi - vi))
+        .sum::<f64>()
+        .sqrt();
+    JacobiResult {
+        x,
+        iterations: max_iter,
+        residual_norm: res,
+        converged: res <= tol * b_norm,
+    }
+}
+
+/// One explicit 9-point (2-D Moore) smoothing sweep with uniform weights —
+/// the raw stencil computation whose CDAG Theorem 10 analyzes. Boundary
+/// points average over their in-grid neighbourhood.
+pub fn stencil_sweep_2d(u: &[f64], n: usize, out: &mut [f64]) {
+    assert_eq!(u.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let mut acc = 0.0;
+            let mut count = 0.0;
+            for dj in -1i64..=1 {
+                for di in -1i64..=1 {
+                    let (ii, jj) = (i as i64 + di, j as i64 + dj);
+                    if ii >= 0 && jj >= 0 && (ii as usize) < n && (jj as usize) < n {
+                        acc += u[jj as usize * n + ii as usize];
+                        count += 1.0;
+                    }
+                }
+            }
+            out[j * n + i] = acc / count;
+        }
+    }
+}
+
+/// Runs `t` stencil sweeps ping-ponging two buffers; returns the final
+/// field.
+pub fn stencil_iterate_2d(u0: &[f64], n: usize, t: usize) -> Vec<f64> {
+    let mut a = u0.to_vec();
+    let mut b = vec![0.0; u0.len()];
+    for _ in 0..t {
+        stencil_sweep_2d(&a, n, &mut b);
+        std::mem::swap(&mut a, &mut b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridOperator;
+    use crate::vector::max_abs_diff;
+
+    #[test]
+    fn jacobi_converges_on_diagonally_dominant() {
+        // Laplacian + 2I is strongly diagonally dominant: Jacobi converges.
+        let op = GridOperator::new(8, 2);
+        let base = op.to_csr();
+        let n = op.len();
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        for r in 0..n {
+            for (c, v) in base.row(r) {
+                triplets.push((r, c, v));
+            }
+            triplets.push((r, r, 2.0));
+        }
+        let a = CsrMatrix::from_triplets(n, n, triplets);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = a.apply(&x_true);
+        let r = jacobi_solve(&a, &b, &vec![0.0; n], 1.0, 1e-10, 2000);
+        assert!(r.converged, "residual {}", r.residual_norm);
+        assert!(max_abs_diff(&r.x, &x_true) < 1e-7);
+    }
+
+    #[test]
+    fn weighted_jacobi_converges_on_laplacian() {
+        // Plain Laplacian: ω = 2/3 damps the high frequencies.
+        let op = GridOperator::new(6, 1);
+        let a = op.to_csr();
+        let b = op.manufactured_rhs();
+        let r = jacobi_solve(&a, &b, &vec![0.0; 6], 2.0 / 3.0, 1e-8, 5000);
+        assert!(r.converged, "residual {}", r.residual_norm);
+    }
+
+    #[test]
+    fn sweep_preserves_constants() {
+        let n = 6;
+        let u = vec![5.0; n * n];
+        let mut out = vec![0.0; n * n];
+        stencil_sweep_2d(&u, n, &mut out);
+        assert!(max_abs_diff(&u, &out) < 1e-14);
+    }
+
+    #[test]
+    fn sweep_smooths_spike() {
+        let n = 5;
+        let mut u = vec![0.0; n * n];
+        u[2 * n + 2] = 9.0;
+        let after = stencil_iterate_2d(&u, n, 1);
+        // The spike spreads to its 9-point neighbourhood.
+        assert!((after[2 * n + 2] - 1.0).abs() < 1e-12);
+        assert!(after[1 * n + 1] > 0.0);
+        assert_eq!(after[0], 0.0);
+        // Repeated smoothing flattens toward the mean.
+        let later = stencil_iterate_2d(&u, n, 50);
+        let spread = later.iter().cloned().fold(f64::MIN, f64::max)
+            - later.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.2, "spread {spread}");
+    }
+
+    #[test]
+    fn non_convergence_reported() {
+        let op = GridOperator::new(16, 1);
+        let a = op.to_csr();
+        let b = op.manufactured_rhs();
+        let r = jacobi_solve(&a, &b, &vec![0.0; 16], 1.0, 1e-12, 3);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dmc-solvers — numerical substrate
+//!
+//! Executable counterparts of the algorithms whose CDAGs the paper
+//! analyzes (Section 5): the iterative linear solvers and the model
+//! problem that motivates them.
+//!
+//! * [`vector`] — dense vector kernels (dot, axpy, norms), with
+//!   crossbeam-parallel variants for large vectors;
+//! * [`csr`] — compressed-sparse-row matrices and SpMV;
+//! * [`grid`] — d-dimensional grid Laplacians / heat operators, both as
+//!   explicit CSR matrices and matrix-free stencil application;
+//! * [`tridiag`] — the Thomas algorithm for tridiagonal systems
+//!   (Equation 11 of Section 5.1);
+//! * [`cg`] — Conjugate Gradient (Figure 3);
+//! * [`gmres`] — restarted GMRES with modified Gram–Schmidt and Givens
+//!   rotations (Figure 4);
+//! * [`jacobi`] — (weighted) Jacobi iteration and raw stencil sweeps
+//!   (Section 5.4);
+//! * [`heat`] — the 1-D heat-equation driver of Section 5.1 / Figure 2:
+//!   Crank–Nicolson time stepping over the tridiagonal system.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cg;
+pub mod csr;
+pub mod fft;
+pub mod gmres;
+pub mod grid;
+pub mod heat;
+pub mod jacobi;
+pub mod tridiag;
+pub mod vector;

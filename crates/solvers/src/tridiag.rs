@@ -1,0 +1,146 @@
+//! Tridiagonal systems and the Thomas algorithm.
+//!
+//! Section 5.1 of the paper discretizes the 1-D heat equation into the
+//! tridiagonal system of Equation 11; this module provides the direct
+//! solver used by the heat driver and as a reference for the iterative
+//! solvers.
+
+/// A tridiagonal matrix stored as three diagonals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonal {
+    /// Sub-diagonal (length `n − 1`).
+    pub lower: Vec<f64>,
+    /// Main diagonal (length `n`).
+    pub diag: Vec<f64>,
+    /// Super-diagonal (length `n − 1`).
+    pub upper: Vec<f64>,
+}
+
+impl Tridiagonal {
+    /// Creates a constant-coefficient tridiagonal matrix
+    /// `[lower, diag, upper]` of size `n` — e.g. the heat-equation matrix
+    /// `[−a/2, 1+a, −a/2]` of Equation 11.
+    pub fn constant(n: usize, lower: f64, diag: f64, upper: f64) -> Self {
+        assert!(n >= 1);
+        Tridiagonal {
+            lower: vec![lower; n - 1],
+            diag: vec![diag; n],
+            upper: vec![upper; n - 1],
+        }
+    }
+
+    /// Size `n`.
+    pub fn len(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// `true` when the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.diag.is_empty()
+    }
+
+    /// `y ← T·x`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        assert_eq!(x.len(), n);
+        (0..n)
+            .map(|i| {
+                let mut acc = self.diag[i] * x[i];
+                if i > 0 {
+                    acc += self.lower[i - 1] * x[i - 1];
+                }
+                if i + 1 < n {
+                    acc += self.upper[i] * x[i + 1];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Solves `T·x = b` by the Thomas algorithm (LU without pivoting —
+    /// valid for the diagonally-dominant systems arising from the heat
+    /// equation). `O(n)` time, destroys nothing.
+    ///
+    /// # Panics
+    /// Panics on a zero pivot (the matrix must be non-singular and
+    /// factorizable without pivoting).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        assert_eq!(b.len(), n);
+        let mut c = vec![0.0; n]; // modified upper
+        let mut d = vec![0.0; n]; // modified rhs
+        let mut denom = self.diag[0];
+        assert!(denom.abs() > 1e-300, "zero pivot at row 0");
+        if n > 1 {
+            c[0] = self.upper[0] / denom;
+        }
+        d[0] = b[0] / denom;
+        for i in 1..n {
+            denom = self.diag[i] - self.lower[i - 1] * c[i - 1];
+            assert!(denom.abs() > 1e-300, "zero pivot at row {i}");
+            if i + 1 < n {
+                c[i] = self.upper[i] / denom;
+            }
+            d[i] = (b[i] - self.lower[i - 1] * d[i - 1]) / denom;
+        }
+        let mut x = d;
+        for i in (0..n - 1).rev() {
+            let next = x[i + 1];
+            x[i] -= c[i] * next;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::max_abs_diff;
+
+    #[test]
+    fn solves_small_system() {
+        // [2 1 0; 1 3 1; 0 1 2] x = [3, 5, 3] -> x = [1, 1, 1].
+        let t = Tridiagonal {
+            lower: vec![1.0, 1.0],
+            diag: vec![2.0, 3.0, 2.0],
+            upper: vec![1.0, 1.0],
+        };
+        let x = t.solve(&[3.0, 5.0, 3.0]);
+        assert!(max_abs_diff(&x, &[1.0, 1.0, 1.0]) < 1e-12);
+    }
+
+    #[test]
+    fn solve_then_apply_roundtrips() {
+        let n = 64;
+        let t = Tridiagonal::constant(n, -0.5, 2.0, -0.5);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let x = t.solve(&b);
+        let back = t.apply(&x);
+        assert!(max_abs_diff(&back, &b) < 1e-10);
+    }
+
+    #[test]
+    fn one_by_one_system() {
+        let t = Tridiagonal::constant(1, 0.0, 4.0, 0.0);
+        assert_eq!(t.solve(&[8.0]), vec![2.0]);
+    }
+
+    #[test]
+    fn heat_matrix_shape() {
+        // Equation 11: [−a/2, 1+a, −a/2].
+        let a = 0.4;
+        let t = Tridiagonal::constant(5, -a / 2.0, 1.0 + a, -a / 2.0);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.lower.len(), 4);
+        // Row sums of interior rows: 1 + a − a = 1.
+        let applied = t.apply(&[1.0; 5]);
+        assert!((applied[2] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn singular_detected() {
+        let t = Tridiagonal::constant(2, 0.0, 0.0, 0.0);
+        let _ = t.solve(&[1.0, 1.0]);
+    }
+}

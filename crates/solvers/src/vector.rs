@@ -1,0 +1,156 @@
+//! Dense vector kernels.
+//!
+//! Sequential versions for small vectors plus crossbeam-scoped parallel
+//! variants used by the larger benchmark problems. The parallel variants
+//! split into contiguous chunks (good locality, no false sharing on
+//! writes) and are exact — reductions sum per-chunk partials in chunk
+//! order, so results are deterministic for a fixed thread count.
+
+/// Dot product `⟨x, y⟩`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y ← y + alpha·x` (axpy).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← x + beta·y` (xpby — the CG direction update).
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `x ← alpha·x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Maximum absolute difference between two vectors.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Threshold below which the parallel variants fall back to sequential.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Parallel dot product over `threads` crossbeam-scoped workers.
+pub fn par_dot(x: &[f64], y: &[f64], threads: usize) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if threads <= 1 || x.len() < PAR_THRESHOLD {
+        return dot(x, y);
+    }
+    let chunk = x.len().div_ceil(threads);
+    let mut partials = vec![0.0f64; threads];
+    crossbeam::thread::scope(|scope| {
+        for (i, p) in partials.iter_mut().enumerate() {
+            let xs = &x[(i * chunk).min(x.len())..((i + 1) * chunk).min(x.len())];
+            let ys = &y[(i * chunk).min(y.len())..((i + 1) * chunk).min(y.len())];
+            scope.spawn(move |_| {
+                *p = dot(xs, ys);
+            });
+        }
+    })
+    .expect("worker panicked");
+    partials.into_iter().sum()
+}
+
+/// Parallel axpy over `threads` crossbeam-scoped workers.
+pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
+    assert_eq!(x.len(), y.len());
+    if threads <= 1 || x.len() < PAR_THRESHOLD {
+        return axpy(alpha, x, y);
+    }
+    let chunk = x.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = &mut y[..];
+        let mut offset = 0usize;
+        for _ in 0..threads {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let xs = &x[offset..offset + take];
+            scope.spawn(move |_| {
+                axpy(alpha, xs, head);
+            });
+            rest = tail;
+            offset += take;
+            if rest.is_empty() {
+                break;
+            }
+        }
+    })
+    .expect("worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_norm() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn xpby_matches_formula() {
+        let x = vec![1.0, 1.0];
+        let mut y = vec![10.0, 20.0];
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![6.0, 11.0]);
+    }
+
+    #[test]
+    fn scale_and_diff() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 0.0]), 2.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 100_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let seq = dot(&x, &y);
+        for t in [2usize, 4, 7] {
+            let par = par_dot(&x, &y, t);
+            assert!((par - seq).abs() < 1e-9 * seq.abs().max(1.0), "t={t}");
+        }
+        let mut y1 = y.clone();
+        let mut y2 = y.clone();
+        axpy(1.5, &x, &mut y1);
+        par_axpy(1.5, &x, &mut y2, 4);
+        assert_eq!(max_abs_diff(&y1, &y2), 0.0);
+    }
+
+    #[test]
+    fn parallel_small_falls_back() {
+        let x = vec![1.0; 10];
+        let y = vec![2.0; 10];
+        assert_eq!(par_dot(&x, &y, 8), 20.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's Section-5 analysis end to end: pick an algorithm and a
+//! machine, and decide where the bandwidth wall is (Equations 7–10).
+//!
+//! ```text
+//! cargo run --example machine_balance
+//! ```
+
+use dmc::core::analysis::{analyze, cg_profile, gmres_profile, jacobi_profile};
+use dmc::machine::specs;
+
+fn main() {
+    println!("{}", specs::format_table1());
+
+    let machines = specs::table1_machines();
+    let n = 1000;
+
+    println!("CG (3-D, n = {n}) — vertical LB ratio 0.3 words/FLOP:");
+    let p = cg_profile(n, 2048);
+    for m in &machines {
+        println!("  {}", analyze(&p, m).row());
+    }
+
+    println!("\nGMRES (3-D, n = {n}) — vertical ratio 6/(m+20):");
+    for m_krylov in [10usize, 100] {
+        println!("  m = {m_krylov}:");
+        let p = gmres_profile(n, m_krylov, 2048);
+        for m in &machines {
+            println!("    {}", analyze(&p, m).row());
+        }
+    }
+
+    println!("\nJacobi stencils on BG/Q — the bandwidth wall moves with dimension:");
+    let bgq = specs::ibm_bgq();
+    for d in 1..=6 {
+        let p = jacobi_profile(n, d, 2048, bgq.llc_words());
+        let r = analyze(&p, &bgq);
+        println!(
+            "  d = {d}: LB {:.5} UB {:.5} words/FLOP -> {}",
+            p.vertical_lb_per_flop.expect("profile sets LB"),
+            p.vertical_ub_per_flop.expect("profile sets UB"),
+            r.vertical
+        );
+    }
+    println!(
+        "\ncritical dimension on BG/Q DRAM->L2: d* = {:.2} (paper's printed rule: {:.2})",
+        dmc::kernels::jacobi::jacobi_max_unbound_dimension(bgq.vertical_balance(), bgq.llc_words()),
+        dmc::kernels::jacobi::jacobi_paper_printed_dimension(bgq.llc_words()),
+    );
+}

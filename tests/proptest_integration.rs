@@ -1,0 +1,107 @@
+//! Cross-crate property tests: random CDAGs and random schedules must
+//! respect every invariant the theory promises, end to end.
+
+use dmc::cdag::topo::{is_valid_topological_order, topological_order};
+use dmc::cdag::Cdag;
+use dmc::core::bounds::decompose::untag_inputs;
+use dmc::core::bounds::mincut::{auto_wavefront_bound, AnchorStrategy};
+use dmc::core::games::executor::{execute_rbw, EvictionPolicy};
+use dmc::core::games::rbw;
+use dmc::core::partition::construct::from_trace;
+use dmc::core::partition::validate_rbw;
+use dmc::kernels::random::{random_layered, RandomDagConfig};
+use dmc::machine::{Level, MemoryHierarchy};
+use dmc::sim::simulate;
+use proptest::prelude::*;
+
+fn arb_cdag() -> impl Strategy<Value = Cdag> {
+    (2usize..5, 2usize..7, 0.1f64..0.7, 0u64..1000).prop_map(|(layers, width, p, seed)| {
+        random_layered(RandomDagConfig {
+            layers,
+            width,
+            edge_prob: p,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Executor games always replay cleanly through the rule validator
+    /// and their traces always yield valid Theorem-1 2S-partitions.
+    #[test]
+    fn executor_traces_validate_and_partition(g in arb_cdag(), s_extra in 1usize..6) {
+        let order = topological_order(&g);
+        let min_s = g.vertices().map(|v| g.in_degree(v) + 1).max().unwrap_or(1);
+        let s = min_s + s_extra;
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady, EvictionPolicy::Fifo] {
+            let game = execute_rbw(&g, s, &order, policy).expect("budget suffices");
+            let certified = rbw::validate(&g, s, &game.trace).expect("trace must be legal");
+            prop_assert_eq!(certified, game.io);
+            let tp = from_trace(&g, &game.trace, s);
+            prop_assert_eq!(validate_rbw(&g, &tp.partition, 2 * s), Ok(()));
+            prop_assert!((s as u64) * tp.intervals as u64 >= game.io);
+        }
+    }
+
+    /// Lower bounds never exceed any executed game's I/O.
+    #[test]
+    fn bounds_below_every_execution(g in arb_cdag(), s_extra in 1usize..5) {
+        let order = topological_order(&g);
+        let min_s = g.vertices().map(|v| g.in_degree(v) + 1).max().unwrap_or(1);
+        let s = min_s + s_extra;
+        let game = execute_rbw(&g, s, &order, EvictionPolicy::Belady).expect("fits");
+        let wavefront =
+            auto_wavefront_bound(&untag_inputs(&g), s as u64, AnchorStrategy::PerLevel);
+        let trivial = dmc::core::bounds::IoBound::trivial(&g).value;
+        prop_assert!(wavefront.value <= game.io as f64,
+            "wavefront {} > exec {}", wavefront.value, game.io);
+        prop_assert!(trivial <= game.io as f64,
+            "trivial {trivial} > exec {}", game.io);
+    }
+
+    /// The simulator accepts any topological schedule and conserves work:
+    /// computes equal compute-vertex count; every input is fetched.
+    #[test]
+    fn simulator_conserves_work(g in arb_cdag(), procs in 1usize..4, s1 in 4u64..64) {
+        let order = topological_order(&g);
+        prop_assume!(is_valid_topological_order(&g, &order));
+        let h = MemoryHierarchy::new(vec![
+            Level::new("L1", procs, s1),
+            Level::new("mem", procs, u64::MAX),
+        ]).expect("valid");
+        let owner: Vec<usize> = (0..g.num_vertices()).map(|i| i % procs).collect();
+        let r = simulate(&g, &h, &order, &owner);
+        let total: u64 = r.computes_per_proc.iter().sum();
+        prop_assert_eq!(total, g.num_compute_vertices() as u64);
+        // At least every input crosses the DRAM link once.
+        prop_assert!(r.total_dram_reads() >= g.num_inputs() as u64);
+    }
+
+    /// Text round-trip through the interchange format is lossless.
+    #[test]
+    fn text_round_trip(g in arb_cdag()) {
+        let text = dmc::cdag::textio::to_text(&g);
+        let g2 = dmc::cdag::textio::from_text(&text).expect("parses");
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        for v in g.vertices() {
+            prop_assert_eq!(g.is_input(v), g2.is_input(v));
+            prop_assert_eq!(g.is_output(v), g2.is_output(v));
+        }
+    }
+
+    /// More cache never increases the executor's I/O under Belady.
+    #[test]
+    fn monotone_in_cache_size(g in arb_cdag()) {
+        let order = topological_order(&g);
+        let min_s = g.vertices().map(|v| g.in_degree(v) + 1).max().unwrap_or(1);
+        let mut prev = u64::MAX;
+        for s in [min_s, min_s + 2, min_s + 8, min_s + 32] {
+            let game = execute_rbw(&g, s, &order, EvictionPolicy::Belady).expect("fits");
+            prop_assert!(game.io <= prev, "S={s}: {} > {prev}", game.io);
+            prev = game.io;
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Measured traffic must respect certified bounds: the simulator sits
+//! between lower bounds and real machines.
+
+use dmc::kernels::grid::Stencil;
+use dmc::kernels::jacobi::{jacobi_cdag, jacobi_io_lower_bound};
+use dmc::machine::{Level, MemoryHierarchy};
+use dmc::sim::schedule::{by_level, jacobi_block_owner, tiled_jacobi_1d};
+use dmc::sim::simulate;
+use dmc_core::parallel::horizontal::ghost_cell_upper_bound;
+
+fn one_proc(s1: u64) -> MemoryHierarchy {
+    MemoryHierarchy::new(vec![
+        Level::new("L1", 1, s1),
+        Level::new("mem", 1, u64::MAX),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn jacobi_reads_never_beat_theorem_10() {
+    let (n, t, s1) = (256usize, 32usize, 32u64);
+    let j = jacobi_cdag(n, 1, t, Stencil::VonNeumann);
+    let h = one_proc(s1);
+    let owner = vec![0usize; j.cdag.num_vertices()];
+    let lb = jacobi_io_lower_bound(n, 1, t, 1, s1);
+    for (name, sched) in [
+        ("untiled", by_level(&j.cdag)),
+        ("tiled8", tiled_jacobi_1d(&j, 8)),
+        ("tiled16", tiled_jacobi_1d(&j, 16)),
+    ] {
+        let r = simulate(&j.cdag, &h, &sched, &owner);
+        // Total traffic (reads + writes) dominates the I/O bound.
+        assert!(
+            r.total_dram_traffic() as f64 >= lb,
+            "{name}: measured {} < LB {lb}",
+            r.total_dram_traffic()
+        );
+    }
+}
+
+#[test]
+fn tiling_cuts_read_traffic() {
+    let (n, t, s1) = (256usize, 32usize, 32u64);
+    let j = jacobi_cdag(n, 1, t, Stencil::VonNeumann);
+    let h = one_proc(s1);
+    let owner = vec![0usize; j.cdag.num_vertices()];
+    let untiled = simulate(&j.cdag, &h, &by_level(&j.cdag), &owner);
+    let tiled = simulate(&j.cdag, &h, &tiled_jacobi_1d(&j, 12), &owner);
+    assert!(
+        (tiled.total_dram_reads() as f64) < untiled.total_dram_reads() as f64 / 4.0,
+        "tiled reads {} vs untiled {}",
+        tiled.total_dram_reads(),
+        untiled.total_dram_reads()
+    );
+    // Write-backs are schedule-independent (every value is distinct).
+    assert_eq!(
+        tiled.total_dram_writebacks(),
+        untiled.total_dram_writebacks()
+    );
+}
+
+#[test]
+fn halo_traffic_bounded_by_ghost_formula() {
+    let (n, t) = (64usize, 4usize);
+    let j = jacobi_cdag(n, 1, t, Stencil::VonNeumann);
+    for procs in [2usize, 4, 8] {
+        let h = MemoryHierarchy::new(vec![
+            Level::new("L1", procs, 32),
+            Level::new("mem", procs, u64::MAX),
+        ])
+        .unwrap();
+        let owner = jacobi_block_owner(&j, procs);
+        let r = simulate(&j.cdag, &h, &by_level(&j.cdag), &owner);
+        let formula_total = ghost_cell_upper_bound(n, 1, procs, t) * procs as f64;
+        assert!(
+            r.total_horizontal() as f64 <= formula_total + 1e-9,
+            "procs={procs}: measured {} > ghost formula {formula_total}",
+            r.total_horizontal()
+        );
+        assert!(r.total_horizontal() > 0, "block runs must exchange halos");
+    }
+}
+
+#[test]
+fn more_cache_never_increases_reads() {
+    let j = jacobi_cdag(128, 1, 16, Stencil::VonNeumann);
+    let owner = vec![0usize; j.cdag.num_vertices()];
+    let sched = tiled_jacobi_1d(&j, 8);
+    let mut prev = u64::MAX;
+    for s1 in [16u64, 32, 64, 256] {
+        let r = simulate(&j.cdag, &one_proc(s1), &sched, &owner);
+        assert!(
+            r.total_dram_reads() <= prev,
+            "S={s1}: reads {} > previous {prev}",
+            r.total_dram_reads()
+        );
+        prev = r.total_dram_reads();
+    }
+}
