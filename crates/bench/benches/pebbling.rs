@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
     });
     let g = matmul::matmul(6);
     let order = topological_order(&g);
-    for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady, EvictionPolicy::Fifo] {
+    for policy in [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Belady,
+        EvictionPolicy::Fifo,
+    ] {
         group.bench_function(format!("executor/matmul6_s32_{policy:?}"), |b| {
             b.iter(|| certified_upper_bound(&g, 32, &order, policy).expect("fits"))
         });

@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("composite_exec/n{n}"), |b| {
             b.iter_batched(
                 || (g.clone(), order.clone()),
-                |(g, order)| execute_rbw(&g, s, &order, EvictionPolicy::Belady).expect("fits").io,
+                |(g, order)| {
+                    execute_rbw(&g, s, &order, EvictionPolicy::Belady)
+                        .expect("fits")
+                        .io
+                },
                 BatchSize::SmallInput,
             )
         });

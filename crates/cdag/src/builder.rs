@@ -21,7 +21,9 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::Cycle(v) => write!(f, "edge set contains a cycle through {v}"),
-            BuildError::DanglingEdge(u, v) => write!(f, "edge ({u}, {v}) references unknown vertex"),
+            BuildError::DanglingEdge(u, v) => {
+                write!(f, "edge ({u}, {v}) references unknown vertex")
+            }
             BuildError::SelfLoop(v) => write!(f, "self-loop on {v}"),
             BuildError::InputWithPredecessor(v) => {
                 write!(f, "vertex {v} tagged as input but has predecessors")
@@ -176,14 +178,15 @@ impl CdagBuilder {
         }
 
         // Kahn's algorithm for cycle detection.
-        let mut indeg: Vec<u32> = (0..nn)
-            .map(|i| rev_off[i + 1] - rev_off[i])
-            .collect();
+        let mut indeg: Vec<u32> = (0..nn).map(|i| rev_off[i + 1] - rev_off[i]).collect();
         let mut queue: Vec<u32> = (0..n).filter(|&i| indeg[i as usize] == 0).collect();
         let mut seen = 0usize;
         while let Some(u) = queue.pop() {
             seen += 1;
-            let (s, e) = (fwd_off[u as usize] as usize, fwd_off[u as usize + 1] as usize);
+            let (s, e) = (
+                fwd_off[u as usize] as usize,
+                fwd_off[u as usize + 1] as usize,
+            );
             for &v in &fwd_adj[s..e] {
                 indeg[v.index()] -= 1;
                 if indeg[v.index()] == 0 {
@@ -209,7 +212,14 @@ impl CdagBuilder {
         }
 
         Ok(Cdag::from_parts(
-            n, fwd_off, fwd_adj, rev_off, rev_adj, inputs, outputs, self.labels,
+            n,
+            fwd_off,
+            fwd_adj,
+            rev_off,
+            rev_adj,
+            inputs,
+            outputs,
+            self.labels,
         ))
     }
 }

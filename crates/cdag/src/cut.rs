@@ -73,7 +73,7 @@ impl ConvexCut {
     /// Checks convexity: no edge from `T` to `S` (equivalently `S` is
     /// predecessor-closed).
     pub fn is_valid(&self, g: &Cdag) -> bool {
-        g.edges().all(|(u, v)| !(self.in_s(v) && !self.in_s(u)))
+        g.edges().all(|(u, v)| !self.in_s(v) || self.in_s(u))
     }
 
     /// The wavefront of this cut: vertices of `S` with at least one
@@ -210,7 +210,10 @@ pub fn schedule_wavefront_sizes(g: &Cdag, order: &[VertexId]) -> Vec<usize> {
 /// Maximum schedule wavefront over the whole schedule — the peak number of
 /// simultaneously-live values, i.e. the minimum storage for this order.
 pub fn peak_schedule_wavefront(g: &Cdag, order: &[VertexId]) -> usize {
-    schedule_wavefront_sizes(g, order).into_iter().max().unwrap_or(0)
+    schedule_wavefront_sizes(g, order)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -70,9 +70,7 @@ impl FlowNetwork {
         let mut it = vec![0u32; n];
         loop {
             // BFS to build the level graph.
-            for l in &mut level {
-                *l = u32::MAX;
-            }
+            level.fill(u32::MAX);
             level[s] = 0;
             let mut queue = std::collections::VecDeque::new();
             queue.push_back(s as u32);
@@ -88,9 +86,7 @@ impl FlowNetwork {
             if level[t] == u32::MAX {
                 return flow;
             }
-            for i in &mut it {
-                *i = 0;
-            }
+            it.fill(0);
             // Blocking flow via iterative DFS.
             loop {
                 let pushed = self.dfs_push(s, t, u32::MAX, &level, &mut it);
@@ -292,7 +288,7 @@ pub fn is_separating_vertex_set(
     // Also ensure no *source* that is itself a sink survives uncut.
     sources
         .iter()
-        .all(|v| !(sinks.contains(v) && !removed.contains(v)))
+        .all(|v| !sinks.contains(v) || removed.contains(v))
 }
 
 #[cfg(test)]

@@ -189,7 +189,11 @@ impl Cdag {
     /// model — values, not computations).
     pub fn retag(&self, inputs: BitSet, outputs: BitSet) -> Cdag {
         assert_eq!(inputs.capacity(), self.num_vertices(), "input tag capacity");
-        assert_eq!(outputs.capacity(), self.num_vertices(), "output tag capacity");
+        assert_eq!(
+            outputs.capacity(),
+            self.num_vertices(),
+            "output tag capacity"
+        );
         for i in inputs.iter() {
             assert!(
                 self.in_degree(VertexId(i as u32)) == 0,

@@ -57,7 +57,7 @@ enum Direction {
     Backward,
 }
 
-fn neighbors<'a>(g: &'a Cdag, v: VertexId, dir: Direction) -> &'a [VertexId] {
+fn neighbors(g: &Cdag, v: VertexId, dir: Direction) -> &[VertexId] {
     match dir {
         Direction::Forward => g.successors(v),
         Direction::Backward => g.predecessors(v),
@@ -139,7 +139,10 @@ mod tests {
         assert_eq!(descendants(&g, a).iter().count(), 3);
         assert!(descendants(&g, d).is_empty());
         assert_eq!(ancestors(&g, b).iter().collect::<Vec<_>>(), vec![a.index()]);
-        assert_eq!(descendants(&g, c).iter().collect::<Vec<_>>(), vec![d.index()]);
+        assert_eq!(
+            descendants(&g, c).iter().collect::<Vec<_>>(),
+            vec![d.index()]
+        );
     }
 
     #[test]

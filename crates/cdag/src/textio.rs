@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn errors_reported() {
         assert!(matches!(from_text(""), Err(ParseError::MissingHeader)));
-        assert!(matches!(from_text("nope 3"), Err(ParseError::MissingHeader)));
+        assert!(matches!(
+            from_text("nope 3"),
+            Err(ParseError::MissingHeader)
+        ));
         assert!(matches!(
             from_text("cdag 1\nv 0 weird \"x\""),
             Err(ParseError::BadLine(_, _))

@@ -13,7 +13,9 @@ use crate::graph::{Cdag, VertexId};
 /// vertices.
 pub fn topological_order(g: &Cdag) -> Vec<VertexId> {
     let n = g.num_vertices();
-    let mut indeg: Vec<u32> = (0..n).map(|i| g.in_degree(VertexId(i as u32)) as u32).collect();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| g.in_degree(VertexId(i as u32)) as u32)
+        .collect();
     let mut order = Vec::with_capacity(n);
     let mut queue: std::collections::VecDeque<VertexId> = (0..n)
         .map(|i| VertexId(i as u32))
@@ -116,7 +118,11 @@ pub fn levels(g: &Cdag) -> Vec<Vec<VertexId>> {
 
 /// Length (vertex count) of the longest path in `g`; 0 for an empty graph.
 pub fn critical_path_len(g: &Cdag) -> usize {
-    depths(g).iter().copied().max().map_or(0, |d| d as usize + 1)
+    depths(g)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |d| d as usize + 1)
 }
 
 #[cfg(test)]

@@ -17,33 +17,38 @@ use proptest::prelude::*;
 /// Strategy: a random DAG as an edge probability matrix over `n` vertices,
 /// with edges only from lower to higher index (guaranteeing acyclicity).
 fn arb_dag(max_n: usize) -> impl Strategy<Value = Cdag> {
-    (2..max_n).prop_flat_map(|n| {
-        let pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-            .collect();
-        let m = pairs.len();
-        (Just(n), Just(pairs), proptest::collection::vec(proptest::bool::weighted(0.3), m))
-    })
-    .prop_map(|(n, pairs, mask)| {
-        let mut b = CdagBuilder::new();
-        let ids: Vec<VertexId> = (0..n).map(|i| b.add_vertex(format!("v{i}"))).collect();
-        for ((i, j), keep) in pairs.into_iter().zip(mask) {
-            if keep {
-                b.add_edge(ids[i], ids[j]);
+    (2..max_n)
+        .prop_flat_map(|n| {
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            let m = pairs.len();
+            (
+                Just(n),
+                Just(pairs),
+                proptest::collection::vec(proptest::bool::weighted(0.3), m),
+            )
+        })
+        .prop_map(|(n, pairs, mask)| {
+            let mut b = CdagBuilder::new();
+            let ids: Vec<VertexId> = (0..n).map(|i| b.add_vertex(format!("v{i}"))).collect();
+            for ((i, j), keep) in pairs.into_iter().zip(mask) {
+                if keep {
+                    b.add_edge(ids[i], ids[j]);
+                }
             }
-        }
-        let g0 = b.clone().build().unwrap();
-        // Tag sources as inputs, sinks as outputs (Hong–Kung form).
-        for v in g0.vertices() {
-            if g0.in_degree(v) == 0 {
-                b.tag_input(v);
+            let g0 = b.clone().build().unwrap();
+            // Tag sources as inputs, sinks as outputs (Hong–Kung form).
+            for v in g0.vertices() {
+                if g0.in_degree(v) == 0 {
+                    b.tag_input(v);
+                }
+                if g0.out_degree(v) == 0 {
+                    b.tag_output(v);
+                }
             }
-            if g0.out_degree(v) == 0 {
-                b.tag_output(v);
-            }
-        }
-        b.build().unwrap()
-    })
+            b.build().unwrap()
+        })
 }
 
 proptest! {

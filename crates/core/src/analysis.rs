@@ -94,9 +94,7 @@ pub fn gmres_profile(n: usize, m: usize, nodes: usize) -> AlgorithmProfile {
         vertical_lb_per_flop: Some(6.0 / (m as f64 + 20.0)),
         vertical_ub_per_flop: None,
         horizontal_lb_per_flop: None,
-        horizontal_ub_per_flop: Some(
-            6.0 * (nodes as f64).powf(1.0 / 3.0) / (n as f64 * m as f64),
-        ),
+        horizontal_ub_per_flop: Some(6.0 * (nodes as f64).powf(1.0 / 3.0) / (n as f64 * m as f64)),
     }
 }
 
@@ -129,7 +127,12 @@ mod tests {
         for m in specs::table1_machines() {
             let r = analyze(&p, &m);
             assert_eq!(r.vertical, BandwidthVerdict::BandwidthBound, "{}", m.name);
-            assert_eq!(r.horizontal, BandwidthVerdict::NotBandwidthBound, "{}", m.name);
+            assert_eq!(
+                r.horizontal,
+                BandwidthVerdict::NotBandwidthBound,
+                "{}",
+                m.name
+            );
         }
     }
 

@@ -62,10 +62,7 @@ pub fn select_anchors(g: &Cdag, strategy: AnchorStrategy) -> Vec<VertexId> {
         AnchorStrategy::Stride(k) => {
             let k = k.max(1);
             let stride = (n / k).max(1);
-            (0..n)
-                .step_by(stride)
-                .map(|i| VertexId(i as u32))
-                .collect()
+            (0..n).step_by(stride).map(|i| VertexId(i as u32)).collect()
         }
     }
 }

@@ -68,7 +68,11 @@ impl IoBound {
         IoBound::new(
             (g.num_inputs() + pure_outputs.len()) as f64,
             Method::Trivial,
-            format!("|I| + |O \\ I| = {} + {}", g.num_inputs(), pure_outputs.len()),
+            format!(
+                "|I| + |O \\ I| = {} + {}",
+                g.num_inputs(),
+                pure_outputs.len()
+            ),
         )
     }
 }

@@ -102,10 +102,7 @@ fn max_fires(
         let bit = 1u32 << v;
         let vid = VertexId(v);
         // Fire v.
-        if !g.is_input(vid)
-            && fired & bit == 0
-            && red & bit == 0
-            && (red.count_ones() as usize) < s
+        if !g.is_input(vid) && fired & bit == 0 && red & bit == 0 && (red.count_ones() as usize) < s
         {
             let preds_ok = g.predecessors(vid).iter().all(|p| red & (1 << p.0) != 0);
             if preds_ok {

@@ -62,7 +62,10 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::InvalidSchedule => write!(f, "schedule is not a topological order"),
             ExecError::BudgetTooSmall { vertex, required } => {
-                write!(f, "budget too small: firing {vertex} needs {required} red pebbles")
+                write!(
+                    f,
+                    "budget too small: firing {vertex} needs {required} red pebbles"
+                )
             }
         }
     }
@@ -84,7 +87,10 @@ pub fn execute_rbw(
     for &v in schedule {
         let need = if g.is_input(v) { 1 } else { g.in_degree(v) + 1 };
         if need > s {
-            return Err(ExecError::BudgetTooSmall { vertex: v, required: need });
+            return Err(ExecError::BudgetTooSmall {
+                vertex: v,
+                required: need,
+            });
         }
     }
     let n = g.num_vertices();
@@ -228,8 +234,7 @@ impl Simulator<'_> {
     }
 
     fn is_dead(&self, v: VertexId) -> bool {
-        self.remaining_uses[v.index()] == 0
-            && (!self.g.is_output(v) || self.blue[v.index()])
+        self.remaining_uses[v.index()] == 0 && (!self.g.is_output(v) || self.blue[v.index()])
     }
 
     fn place_red(&mut self, v: VertexId) {
@@ -251,8 +256,7 @@ impl Simulator<'_> {
     }
 
     fn is_dead_or_saved(&self, u: VertexId) -> bool {
-        self.blue[u.index()]
-            || (self.remaining_uses[u.index()] == 0 && !self.g.is_output(u))
+        self.blue[u.index()] || (self.remaining_uses[u.index()] == 0 && !self.g.is_output(u))
     }
 
     fn choose_victim(&mut self, pinned: &[VertexId], v: VertexId) -> VertexId {
@@ -352,7 +356,11 @@ mod tests {
     fn diamond_with_ample_memory_costs_two() {
         let g = diamond();
         let order = topological_order(&g);
-        for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady, EvictionPolicy::Fifo] {
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Belady,
+            EvictionPolicy::Fifo,
+        ] {
             let io = certified_upper_bound(&g, 4, &order, policy).unwrap();
             assert_eq!(io, 2, "{policy:?}: load a + store d");
         }
@@ -373,7 +381,11 @@ mod tests {
         let g = dmc_kernels::matmul::matmul(3);
         let order = topological_order(&g);
         for s in [4usize, 6, 10, 32] {
-            for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady, EvictionPolicy::Fifo] {
+            for policy in [
+                EvictionPolicy::Lru,
+                EvictionPolicy::Belady,
+                EvictionPolicy::Fifo,
+            ] {
                 let io = certified_upper_bound(&g, s, &order, policy).unwrap();
                 assert!(io >= (g.num_inputs() + g.num_outputs()) as u64);
             }

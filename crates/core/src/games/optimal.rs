@@ -88,8 +88,10 @@ pub fn optimal_io(g: &Cdag, s: usize, kind: GameKind) -> Option<u64> {
             return Some(d);
         }
         let red_count = red.count_ones() as usize;
-        let push = |nst: State, nd: u64, dist: &mut HashMap<State, u64>,
-                        heap: &mut BinaryHeap<Reverse<(u64, u32, u32, u32)>>| {
+        let push = |nst: State,
+                    nd: u64,
+                    dist: &mut HashMap<State, u64>,
+                    heap: &mut BinaryHeap<Reverse<(u64, u32, u32, u32)>>| {
             let best = dist.entry(nst).or_insert(u64::MAX);
             if nd < *best {
                 *best = nd;
@@ -213,7 +215,11 @@ mod tests {
     #[test]
     fn hong_kung_never_worse_than_rbw() {
         // Recomputation can only help.
-        for g in [chains::diamond(), chains::two_stage(3), chains::ladder(3, 3)] {
+        for g in [
+            chains::diamond(),
+            chains::two_stage(3),
+            chains::ladder(3, 3),
+        ] {
             for s in 3..=5 {
                 let hk = optimal_io(&g, s, GameKind::HongKung);
                 let rbw = optimal_io(&g, s, GameKind::Rbw);

@@ -416,7 +416,10 @@ pub fn execute_owner_computes(
                 v: victim,
                 unit: Unit::new(1, p),
             });
-            let pos = resident[p].iter().position(|&x| x == victim).expect("resident");
+            let pos = resident[p]
+                .iter()
+                .position(|&x| x == victim)
+                .expect("resident");
             resident[p].swap_remove(pos);
             free += 1;
         }
@@ -573,13 +576,23 @@ mod tests {
         ])
         .unwrap();
         let mut st = PrbwState::initial(&g, &h);
-        st.apply(PrbwMove::Input { v: VertexId(0), unit: 0 }).unwrap();
-        st.apply(PrbwMove::MoveUp { v: VertexId(0), to: Unit::new(1, 0) })
-            .unwrap();
+        st.apply(PrbwMove::Input {
+            v: VertexId(0),
+            unit: 0,
+        })
+        .unwrap();
+        st.apply(PrbwMove::MoveUp {
+            v: VertexId(0),
+            to: Unit::new(1, 0),
+        })
+        .unwrap();
         // Second value cannot fit at level 1 (capacity 1).
-        st.apply(PrbwMove::Compute { v: VertexId(1), proc: 0 })
-            .map(|_| ())
-            .unwrap_err();
+        st.apply(PrbwMove::Compute {
+            v: VertexId(1),
+            proc: 0,
+        })
+        .map(|_| ())
+        .unwrap_err();
     }
 
     #[test]
@@ -588,7 +601,11 @@ mod tests {
         let h = small_machine();
         let mut st = PrbwState::initial(&g, &h);
         let err = st
-            .apply(PrbwMove::RemoteGet { v: VertexId(0), to: 1, from: 0 })
+            .apply(PrbwMove::RemoteGet {
+                v: VertexId(0),
+                to: 1,
+                from: 0,
+            })
             .unwrap_err();
         assert!(matches!(err, PrbwError::MissingSourcePebble(_, _)));
     }
@@ -598,10 +615,17 @@ mod tests {
         let g = chains::chain(2);
         let h = small_machine();
         let mut st = PrbwState::initial(&g, &h);
-        st.apply(PrbwMove::Input { v: VertexId(0), unit: 0 }).unwrap();
+        st.apply(PrbwMove::Input {
+            v: VertexId(0),
+            unit: 0,
+        })
+        .unwrap();
         // Value at level L only — not at level 1 of proc 0.
         let err = st
-            .apply(PrbwMove::Compute { v: VertexId(1), proc: 0 })
+            .apply(PrbwMove::Compute {
+                v: VertexId(1),
+                proc: 0,
+            })
             .unwrap_err();
         assert_eq!(err, PrbwError::ComputeWithoutPreds(VertexId(1), 0));
     }

@@ -66,7 +66,11 @@ impl RbwState {
                 if self.white.contains(v.index()) {
                     return Err(GameError::Recompute(v));
                 }
-                if !g.predecessors(v).iter().all(|p| self.red.contains(p.index())) {
+                if !g
+                    .predecessors(v)
+                    .iter()
+                    .all(|p| self.red.contains(p.index()))
+                {
                     return Err(GameError::ComputeWithoutPreds(v));
                 }
                 if !self.red.contains(v.index()) && self.red.len() >= self.s {
@@ -155,7 +159,10 @@ mod tests {
                 Move::Compute(x),
             ],
         };
-        assert_eq!(validate(&g, 3, &trace).unwrap_err(), GameError::Recompute(x));
+        assert_eq!(
+            validate(&g, 3, &trace).unwrap_err(),
+            GameError::Recompute(x)
+        );
     }
 
     #[test]
@@ -165,7 +172,10 @@ mod tests {
         let trace = GameTrace {
             moves: vec![Move::Load(a), Move::Compute(x)],
         };
-        assert_eq!(validate(&g, 3, &trace).unwrap_err(), GameError::Unfired(VertexId(2)));
+        assert_eq!(
+            validate(&g, 3, &trace).unwrap_err(),
+            GameError::Unfired(VertexId(2))
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl RedBlueState {
                 if g.is_input(v) {
                     return Err(GameError::ComputeInput(v));
                 }
-                if !g.predecessors(v).iter().all(|p| self.red.contains(p.index())) {
+                if !g
+                    .predecessors(v)
+                    .iter()
+                    .all(|p| self.red.contains(p.index()))
+                {
                     return Err(GameError::ComputeWithoutPreds(v));
                 }
                 if !self.red.contains(v.index()) && self.red.len() >= self.s {
@@ -151,7 +155,12 @@ mod tests {
         let g = tiny();
         let (a, x, c) = (VertexId(0), VertexId(1), VertexId(2));
         let trace = GameTrace {
-            moves: vec![Move::Load(a), Move::Compute(x), Move::Delete(a), Move::Compute(c)],
+            moves: vec![
+                Move::Load(a),
+                Move::Compute(x),
+                Move::Delete(a),
+                Move::Compute(c),
+            ],
         };
         assert_eq!(
             validate(&g, 2, &trace).unwrap_err(),
@@ -185,7 +194,10 @@ mod tests {
         let trace = GameTrace {
             moves: vec![Move::Load(x)],
         };
-        assert_eq!(validate(&g, 2, &trace).unwrap_err(), GameError::LoadWithoutBlue(x));
+        assert_eq!(
+            validate(&g, 2, &trace).unwrap_err(),
+            GameError::LoadWithoutBlue(x)
+        );
     }
 
     #[test]
@@ -195,6 +207,9 @@ mod tests {
         let trace = GameTrace {
             moves: vec![Move::Compute(a)],
         };
-        assert_eq!(validate(&g, 2, &trace).unwrap_err(), GameError::ComputeInput(a));
+        assert_eq!(
+            validate(&g, 2, &trace).unwrap_err(),
+            GameError::ComputeInput(a)
+        );
     }
 }

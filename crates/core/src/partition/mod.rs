@@ -109,9 +109,9 @@ fn check_p2(g: &Cdag, p: &SPartition) -> Result<(), PartitionViolation> {
     // create artificial circuits.
     let mut a = assignment;
     let mut next = p.num_blocks();
-    for v in 0..n {
-        if a[v] == usize::MAX {
-            a[v] = next;
+    for block in a.iter_mut() {
+        if *block == usize::MAX {
+            *block = next;
             next += 1;
         }
     }
@@ -130,11 +130,17 @@ pub fn validate_rbw(g: &Cdag, p: &SPartition, s: usize) -> Result<(), PartitionV
     for (i, blk) in p.blocks.iter().enumerate() {
         let ins = input_set(g, blk).len();
         if ins > s {
-            return Err(PartitionViolation::InputTooLarge { block: i, size: ins });
+            return Err(PartitionViolation::InputTooLarge {
+                block: i,
+                size: ins,
+            });
         }
         let outs = output_set(g, blk).len();
         if outs > s {
-            return Err(PartitionViolation::OutputTooLarge { block: i, size: outs });
+            return Err(PartitionViolation::OutputTooLarge {
+                block: i,
+                size: outs,
+            });
         }
     }
     Ok(())
@@ -168,7 +174,10 @@ pub fn validate_hong_kung(g: &Cdag, p: &SPartition, s: usize) -> Result<(), Part
         // P3: minimum dominator (vertex min-cut from inputs).
         let dom = min_dominator(g, blk);
         if dom.size > s {
-            return Err(PartitionViolation::DominatorTooLarge { block: i, size: dom.size });
+            return Err(PartitionViolation::DominatorTooLarge {
+                block: i,
+                size: dom.size,
+            });
         }
         // P4: minimum set — vertices of the block with all successors
         // outside (sinks of the block).
@@ -180,7 +189,10 @@ pub fn validate_hong_kung(g: &Cdag, p: &SPartition, s: usize) -> Result<(), Part
             })
             .count();
         if min_set > s {
-            return Err(PartitionViolation::MinimumSetTooLarge { block: i, size: min_set });
+            return Err(PartitionViolation::MinimumSetTooLarge {
+                block: i,
+                size: min_set,
+            });
         }
     }
     Ok(())
@@ -239,17 +251,26 @@ mod tests {
         let p = SPartition {
             blocks: vec![block(4, &[1, 2])],
         };
-        assert_eq!(validate_rbw(&g, &p, 4), Err(PartitionViolation::NotAPartition));
+        assert_eq!(
+            validate_rbw(&g, &p, 4),
+            Err(PartitionViolation::NotAPartition)
+        );
         // Overlapping blocks.
         let p = SPartition {
             blocks: vec![block(4, &[1, 2]), block(4, &[2, 3])],
         };
-        assert_eq!(validate_rbw(&g, &p, 4), Err(PartitionViolation::NotAPartition));
+        assert_eq!(
+            validate_rbw(&g, &p, 4),
+            Err(PartitionViolation::NotAPartition)
+        );
         // Including an input.
         let p = SPartition {
             blocks: vec![block(4, &[0, 1, 2]), block(4, &[3])],
         };
-        assert_eq!(validate_rbw(&g, &p, 4), Err(PartitionViolation::NotAPartition));
+        assert_eq!(
+            validate_rbw(&g, &p, 4),
+            Err(PartitionViolation::NotAPartition)
+        );
     }
 
     #[test]

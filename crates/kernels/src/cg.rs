@@ -179,7 +179,10 @@ mod tests {
         let cg = cg_cdag(8, 1, 4, Stencil::VonNeumann);
         let est = cg_flops_estimate(8, 1, 4);
         let actual = cg.cdag.num_compute_vertices() as f64;
-        assert!(actual > est / 3.0 && actual < est * 3.0, "est {est} vs actual {actual}");
+        assert!(
+            actual > est / 3.0 && actual < est * 3.0,
+            "est {est} vs actual {actual}"
+        );
     }
 
     #[test]

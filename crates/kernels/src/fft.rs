@@ -10,7 +10,10 @@ use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 /// Builds the `n`-point FFT butterfly CDAG (`n` must be a power of two).
 /// Inputs: the `n` leaves; outputs: the `n` final-stage vertices.
 pub fn fft(n: usize) -> Cdag {
-    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "FFT size must be a power of two >= 2"
+    );
     let stages = n.trailing_zeros() as usize;
     let mut b = CdagBuilder::with_capacity(n * (stages + 1), 2 * n * stages);
     let mut prev: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("x{i}"))).collect();

@@ -69,9 +69,7 @@ pub fn gmres_cdag(n: usize, d: usize, m: usize, stencil: Stencil) -> GmresCdag {
                 .iter()
                 .zip(vj)
                 .enumerate()
-                .map(|(i, (&wi, &vji))| {
-                    b.add_op(format!("w{it}_{j}_{i}"), &[wi, h, vji])
-                })
+                .map(|(i, (&wi, &vji))| b.add_op(format!("w{it}_{j}_{i}"), &[wi, h, vji]))
                 .collect();
         }
         let upsilon_x = last_h.expect("m >= 1 so at least one h");

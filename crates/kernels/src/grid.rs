@@ -24,7 +24,10 @@ pub enum Stencil {
 impl Grid {
     /// Creates an `n^d` grid.
     pub fn new(n: usize, d: usize) -> Self {
-        assert!(n >= 1 && d >= 1, "grid must have positive extent and dimension");
+        assert!(
+            n >= 1 && d >= 1,
+            "grid must have positive extent and dimension"
+        );
         Grid { n, d }
     }
 

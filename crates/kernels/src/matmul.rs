@@ -15,8 +15,12 @@ use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 pub fn matmul(n: usize) -> Cdag {
     assert!(n >= 1);
     let mut b = CdagBuilder::with_capacity(2 * n * n + n * n * n * 2, 4 * n * n * n);
-    let a: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("A{}_{}", k / n, k % n))).collect();
-    let bb: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("B{}_{}", k / n, k % n))).collect();
+    let a: Vec<VertexId> = (0..n * n)
+        .map(|k| b.add_input(format!("A{}_{}", k / n, k % n)))
+        .collect();
+    let bb: Vec<VertexId> = (0..n * n)
+        .map(|k| b.add_input(format!("B{}_{}", k / n, k % n)))
+        .collect();
     for i in 0..n {
         for j in 0..n {
             let prods: Vec<VertexId> = (0..n)
@@ -35,8 +39,12 @@ pub fn matmul(n: usize) -> Cdag {
 pub fn matmul_chain_accumulate(n: usize) -> Cdag {
     assert!(n >= 1);
     let mut b = CdagBuilder::with_capacity(2 * n * n + 2 * n * n * n, 4 * n * n * n);
-    let a: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("A{}_{}", k / n, k % n))).collect();
-    let bb: Vec<VertexId> = (0..n * n).map(|k| b.add_input(format!("B{}_{}", k / n, k % n))).collect();
+    let a: Vec<VertexId> = (0..n * n)
+        .map(|k| b.add_input(format!("A{}_{}", k / n, k % n)))
+        .collect();
+    let bb: Vec<VertexId> = (0..n * n)
+        .map(|k| b.add_input(format!("B{}_{}", k / n, k % n)))
+        .collect();
     for i in 0..n {
         for j in 0..n {
             let mut acc: Option<VertexId> = None;
@@ -85,9 +93,7 @@ mod tests {
         assert_eq!(t.num_inputs(), c.num_inputs());
         assert_eq!(t.num_outputs(), c.num_outputs());
         // Chain accumulation has a longer critical path.
-        assert!(
-            dmc_cdag::topo::critical_path_len(&c) >= dmc_cdag::topo::critical_path_len(&t)
-        );
+        assert!(dmc_cdag::topo::critical_path_len(&c) >= dmc_cdag::topo::critical_path_len(&t));
     }
 
     #[test]

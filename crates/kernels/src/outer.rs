@@ -13,9 +13,9 @@ pub fn outer_product(n: usize) -> Cdag {
     let mut b = CdagBuilder::with_capacity(2 * n + n * n, 2 * n * n);
     let p: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("p{i}"))).collect();
     let q: Vec<VertexId> = (0..n).map(|j| b.add_input(format!("q{j}"))).collect();
-    for i in 0..n {
-        for j in 0..n {
-            let a = b.add_op(format!("A{i}_{j}"), &[p[i], q[j]]);
+    for (i, &pi) in p.iter().enumerate() {
+        for (j, &qj) in q.iter().enumerate() {
+            let a = b.add_op(format!("A{i}_{j}"), &[pi, qj]);
             b.tag_output(a);
         }
     }

@@ -77,10 +77,7 @@ mod tests {
         let b = random_layered(RandomDagConfig::default());
         assert_eq!(a.num_vertices(), b.num_vertices());
         assert_eq!(a.num_edges(), b.num_edges());
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
     }
 
     #[test]

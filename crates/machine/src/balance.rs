@@ -105,8 +105,16 @@ mod tests {
     fn bgq_balances_match_table1() {
         let m = specs::ibm_bgq();
         // Table 1: vertical 0.052, horizontal 0.049.
-        assert!((m.vertical_balance() - 0.052).abs() < 0.001, "{}", m.vertical_balance());
-        assert!((m.horizontal_balance() - 0.049).abs() < 0.001, "{}", m.horizontal_balance());
+        assert!(
+            (m.vertical_balance() - 0.052).abs() < 0.001,
+            "{}",
+            m.vertical_balance()
+        );
+        assert!(
+            (m.horizontal_balance() - 0.049).abs() < 0.001,
+            "{}",
+            m.horizontal_balance()
+        );
         assert_eq!(m.nodes, 2048);
         assert!((m.memory_gb - 16.0).abs() < 1e-9);
         assert!((m.llc_mb - 32.0).abs() < 1e-9);
@@ -116,8 +124,16 @@ mod tests {
     fn xt5_balances_match_table1() {
         let m = specs::cray_xt5();
         // Table 1: vertical 0.0256, horizontal 0.058.
-        assert!((m.vertical_balance() - 0.0256).abs() < 0.0005, "{}", m.vertical_balance());
-        assert!((m.horizontal_balance() - 0.058).abs() < 0.001, "{}", m.horizontal_balance());
+        assert!(
+            (m.vertical_balance() - 0.0256).abs() < 0.0005,
+            "{}",
+            m.vertical_balance()
+        );
+        assert!(
+            (m.horizontal_balance() - 0.058).abs() < 0.001,
+            "{}",
+            m.horizontal_balance()
+        );
         assert_eq!(m.nodes, 9408);
         assert!((m.llc_mb - 6.0).abs() < 1e-9);
     }

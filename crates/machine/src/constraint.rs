@@ -109,7 +109,10 @@ mod tests {
         // every Table-1 balance, so bandwidth-bound everywhere.
         let c = Constraint::lower(0.3);
         for m in specs::table1_machines() {
-            assert_eq!(c.verdict(m.vertical_balance()), BandwidthVerdict::BandwidthBound);
+            assert_eq!(
+                c.verdict(m.vertical_balance()),
+                BandwidthVerdict::BandwidthBound
+            );
         }
     }
 
@@ -143,7 +146,10 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert_eq!(BandwidthVerdict::BandwidthBound.to_string(), "bandwidth-bound");
+        assert_eq!(
+            BandwidthVerdict::BandwidthBound.to_string(),
+            "bandwidth-bound"
+        );
         assert_eq!(
             BandwidthVerdict::NotBandwidthBound.to_string(),
             "not bandwidth-bound"

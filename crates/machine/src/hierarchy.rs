@@ -52,7 +52,11 @@ impl std::fmt::Display for HierarchyError {
                 write!(f, "level {l} has more units than level {}", l - 1)
             }
             HierarchyError::UnitsNotDivisible(l) => {
-                write!(f, "units at level {} do not divide units at level {l}", l + 1)
+                write!(
+                    f,
+                    "units at level {} do not divide units at level {l}",
+                    l + 1
+                )
             }
             HierarchyError::Degenerate(l) => write!(f, "level {l} has zero units or capacity"),
         }
@@ -90,7 +94,7 @@ impl MemoryHierarchy {
             if levels[i].units > levels[i - 1].units {
                 return Err(HierarchyError::UnitsNotMonotone(i + 1));
             }
-            if levels[i - 1].units % levels[i].units != 0 {
+            if !levels[i - 1].units.is_multiple_of(levels[i].units) {
                 return Err(HierarchyError::UnitsNotDivisible(i));
             }
         }

@@ -162,7 +162,11 @@ mod tests {
         assert_eq!(ext[0].name, "IBM BG/Q");
         // All machines have positive balances.
         for m in &ext {
-            assert!(m.vertical_balance() > 0.0 && m.horizontal_balance() > 0.0, "{}", m.name);
+            assert!(
+                m.vertical_balance() > 0.0 && m.horizontal_balance() > 0.0,
+                "{}",
+                m.name
+            );
         }
     }
 

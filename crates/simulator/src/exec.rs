@@ -51,7 +51,11 @@ impl SimReport {
 
     /// Traffic at the busiest node's DRAM link (the `M^i_l` of Section 5).
     pub fn max_dram_traffic(&self) -> u64 {
-        self.dram_traffic_per_node.iter().copied().max().unwrap_or(0)
+        self.dram_traffic_per_node
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total DRAM↔cache words across nodes.
@@ -164,7 +168,15 @@ pub fn simulate(
             report.computes_per_proc[p] += 1;
             home[v.index()] = node;
             // Write-allocate the result into level 1 (dirty).
-            write_word(h, &mut caches, &mut in_memory, &mut report, p, v.index() as u64, &unit_of);
+            write_word(
+                h,
+                &mut caches,
+                &mut in_memory,
+                &mut report,
+                p,
+                v.index() as u64,
+                &unit_of,
+            );
         }
     }
     // Flush every cache: dirty words travel up one link per level crossed.
@@ -247,6 +259,7 @@ fn read_word(
 
 /// Inserts `addr` clean at cache level `l` on `p`'s path, routing any
 /// dirty eviction one link up.
+#[allow(clippy::too_many_arguments)]
 fn fill_level(
     h: &MemoryHierarchy,
     caches: &mut [Vec<LruCache>],
@@ -279,7 +292,17 @@ fn insert_with_writeback(
             // Write back one level up.
             report.vertical_by_link[l - 1] += 1;
             if l + 1 < levels {
-                insert_with_writeback(h, caches, in_memory, report, p, l + 1, ev_addr, true, unit_of);
+                insert_with_writeback(
+                    h,
+                    caches,
+                    in_memory,
+                    report,
+                    p,
+                    l + 1,
+                    ev_addr,
+                    true,
+                    unit_of,
+                );
             } else {
                 let node = unit_of(p, levels);
                 report.dram_traffic_per_node[node] += 1;
@@ -354,11 +377,8 @@ mod tests {
     fn cross_node_reads_count_horizontal() {
         let g = chains::chain(6);
         // 2 procs on 2 nodes.
-        let h = MemoryHierarchy::new(vec![
-            Level::new("L1", 2, 8),
-            Level::new("mem", 2, u64::MAX),
-        ])
-        .unwrap();
+        let h = MemoryHierarchy::new(vec![Level::new("L1", 2, 8), Level::new("mem", 2, u64::MAX)])
+            .unwrap();
         let order = topological_order(&g);
         // Alternate ownership: every edge crosses nodes.
         let owner: Vec<usize> = (0..6).map(|i| i % 2).collect();
@@ -369,11 +389,8 @@ mod tests {
     #[test]
     fn same_node_needs_no_horizontal() {
         let g = chains::chain(6);
-        let h = MemoryHierarchy::new(vec![
-            Level::new("L1", 2, 8),
-            Level::new("mem", 1, u64::MAX),
-        ])
-        .unwrap();
+        let h = MemoryHierarchy::new(vec![Level::new("L1", 2, 8), Level::new("mem", 1, u64::MAX)])
+            .unwrap();
         let order = topological_order(&g);
         let owner: Vec<usize> = (0..6).map(|i| i % 2).collect();
         let r = simulate(&g, &h, &order, &owner);
@@ -405,6 +422,6 @@ mod tests {
         let h = one_proc(4);
         let mut order = topological_order(&g);
         order.reverse();
-        let _ = simulate(&g, &h, &order, &vec![0; 3]);
+        let _ = simulate(&g, &h, &order, &[0; 3]);
     }
 }

@@ -55,7 +55,11 @@ pub fn tiled_jacobi_1d(j: &JacobiCdag, tile_width: usize) -> Vec<VertexId> {
             }
         }
     }
-    debug_assert_eq!(order.len(), (t_steps + 1) * n, "tiling must cover all vertices");
+    debug_assert_eq!(
+        order.len(),
+        (t_steps + 1) * n,
+        "tiling must cover all vertices"
+    );
     order
 }
 
@@ -139,7 +143,12 @@ mod tests {
 
     #[test]
     fn tiled_1d_is_topological() {
-        for (n, t, w) in [(16usize, 4usize, 4usize), (32, 8, 4), (10, 10, 3), (7, 2, 8)] {
+        for (n, t, w) in [
+            (16usize, 4usize, 4usize),
+            (32, 8, 4),
+            (10, 10, 3),
+            (7, 2, 8),
+        ] {
             let j = jacobi_cdag(n, 1, t, Stencil::VonNeumann);
             let order = tiled_jacobi_1d(&j, w);
             assert!(
@@ -190,7 +199,7 @@ mod tests {
         let j = jacobi_cdag(8, 1, 2, Stencil::VonNeumann);
         let owner = striped_owner(&j.cdag, 3);
         for p in 0..3 {
-            assert!(owner.iter().any(|&o| o == p));
+            assert!(owner.contains(&p));
         }
     }
 

@@ -119,7 +119,7 @@ mod tests {
         // floating point.
         let op = GridOperator::new(10, 1);
         let b = op.manufactured_rhs();
-        let r = cg(|x, y| op.apply(x, y), &b, &vec![0.0; 10], 1e-12, 30);
+        let r = cg(|x, y| op.apply(x, y), &b, &[0.0; 10], 1e-12, 30);
         assert!(r.converged);
         assert!(r.iterations <= 15, "{} iterations", r.iterations);
     }
@@ -128,7 +128,7 @@ mod tests {
     fn residual_history_is_recorded() {
         let op = GridOperator::new(16, 1);
         let b = op.generic_rhs();
-        let r = cg(|x, y| op.apply(x, y), &b, &vec![0.0; 16], 1e-10, 100);
+        let r = cg(|x, y| op.apply(x, y), &b, &[0.0; 16], 1e-10, 100);
         assert_eq!(r.history.len(), r.iterations + 1);
         assert!(r.history.last().unwrap() < r.history.first().unwrap());
     }

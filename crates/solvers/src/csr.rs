@@ -13,11 +13,7 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
     /// entries are summed.
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        mut triplets: Vec<(usize, usize, f64)>,
-    ) -> Self {
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(usize, usize, f64)>) -> Self {
         for &(r, c, _) in &triplets {
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
         }
@@ -80,12 +76,12 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 
@@ -139,7 +135,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            vec![(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 1.0), (2, 2, 4.0)],
+            vec![
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 1.0),
+                (2, 2, 4.0),
+            ],
         );
         assert_eq!(a.nnz(), 5);
         let y = a.apply(&[1.0, 2.0, 3.0]);

@@ -22,27 +22,36 @@ impl Complex {
         Complex::new(theta.cos(), theta.sin())
     }
 
-    /// Complex addition.
-    pub fn add(self, o: Complex) -> Complex {
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, o: Complex) -> Complex {
         Complex::new(self.re + o.re, self.im + o.im)
     }
+}
 
-    /// Complex subtraction.
-    pub fn sub(self, o: Complex) -> Complex {
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, o: Complex) -> Complex {
         Complex::new(self.re - o.re, self.im - o.im)
     }
+}
 
-    /// Complex multiplication.
-    pub fn mul(self, o: Complex) -> Complex {
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, o: Complex) -> Complex {
         Complex::new(
             self.re * o.re - self.im * o.im,
             self.re * o.im + self.im * o.re,
         )
-    }
-
-    /// Squared magnitude.
-    pub fn norm_sq(self) -> f64 {
-        self.re * self.re + self.im * self.im
     }
 }
 
@@ -75,10 +84,10 @@ pub fn fft_in_place(x: &mut [Complex], inverse: bool) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = x[start + k];
-                let v = x[start + k + len / 2].mul(w);
-                x[start + k] = u.add(v);
-                x[start + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -112,7 +121,7 @@ pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
             let mut acc = Complex::default();
             for (j, &v) in x.iter().enumerate() {
                 let w = Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
-                acc = acc.add(v.mul(w));
+                acc = acc + v * w;
             }
             acc
         })
@@ -126,7 +135,7 @@ mod tests {
     fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
         a.iter()
             .zip(b)
-            .map(|(x, y)| x.sub(*y).norm_sq().sqrt())
+            .map(|(x, y)| (*x - *y).norm_sq().sqrt())
             .fold(0.0, f64::max)
     }
 
@@ -174,10 +183,13 @@ mod tests {
     #[test]
     fn linearity() {
         let a = signal(32);
-        let b: Vec<Complex> = signal(32).iter().map(|v| v.mul(Complex::new(0.0, 2.0))).collect();
-        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+        let b: Vec<Complex> = signal(32)
+            .iter()
+            .map(|v| *v * Complex::new(0.0, 2.0))
+            .collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let lhs = fft(&sum);
-        let rhs: Vec<Complex> = fft(&a).iter().zip(&fft(&b)).map(|(x, y)| x.add(*y)).collect();
+        let rhs: Vec<Complex> = fft(&a).iter().zip(&fft(&b)).map(|(x, y)| *x + *y).collect();
         assert!(max_err(&lhs, &rhs) < 1e-10);
     }
 

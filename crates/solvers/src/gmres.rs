@@ -65,7 +65,8 @@ where
         // Krylov basis V and Hessenberg H (column-major, m+1 rows used).
         let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
         basis.push(r0.iter().map(|v| v / beta).collect());
-        let mut h = vec![vec![0.0f64; m]; m + 2]; // h[row][col]
+        // Hessenberg H as h[row][col].
+        let mut h = vec![vec![0.0f64; m]; m + 2];
         // Givens rotation state and transformed rhs g.
         let mut cs = vec![0.0f64; m];
         let mut sn = vec![0.0f64; m];
@@ -180,7 +181,7 @@ mod tests {
     fn solves_spd_laplacian() {
         let op = GridOperator::new(24, 1);
         let b = op.generic_rhs();
-        let r = gmres(|x, y| op.apply(x, y), &b, &vec![0.0; 24], 24, 1e-10, 4);
+        let r = gmres(|x, y| op.apply(x, y), &b, &[0.0; 24], 24, 1e-10, 4);
         assert!(r.converged, "residual {}", r.residual_norm);
         let mut ax = vec![0.0; 24];
         op.apply(&r.x, &mut ax);
@@ -225,7 +226,7 @@ mod tests {
         // The Givens residual estimate is non-increasing inside one cycle.
         let op = GridOperator::new(16, 1);
         let b = op.generic_rhs();
-        let r = gmres(|x, y| op.apply(x, y), &b, &vec![0.0; 16], 16, 1e-12, 1);
+        let r = gmres(|x, y| op.apply(x, y), &b, &[0.0; 16], 16, 1e-12, 1);
         for w in r.history.windows(2) {
             assert!(w[1] <= w[0] * (1.0 + 1e-9), "{} > {}", w[1], w[0]);
         }

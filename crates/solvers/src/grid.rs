@@ -117,7 +117,9 @@ impl GridOperator {
             .map(|i| {
                 let c = self.coords(i);
                 c.iter()
-                    .map(|&x| (std::f64::consts::PI * (x as f64 + 1.0) / (self.n as f64 + 1.0)).sin())
+                    .map(|&x| {
+                        (std::f64::consts::PI * (x as f64 + 1.0) / (self.n as f64 + 1.0)).sin()
+                    })
                     .product()
             })
             .collect()

@@ -132,8 +132,8 @@ mod tests {
         // Dirichlet: the solution decays everywhere; no artificial heat
         // enters from the boundary rows.
         let p = HeatProblem::new(9, 1e-3);
-        let u = p.run(&vec![1.0; 9], 100);
-        assert!(u.iter().all(|&v| v >= 0.0 && v < 1.0));
+        let u = p.run(&[1.0; 9], 100);
+        assert!(u.iter().all(|&v| (0.0..1.0).contains(&v)));
         // Edge points cool fastest.
         assert!(u[0] < u[4]);
     }

@@ -1,6 +1,6 @@
 //! Dense vector kernels.
 //!
-//! Sequential versions for small vectors plus crossbeam-scoped parallel
+//! Sequential versions for small vectors plus scoped-thread parallel
 //! variants used by the larger benchmark problems. The parallel variants
 //! split into contiguous chunks (good locality, no false sharing on
 //! writes) and are exact — reductions sum per-chunk partials in chunk
@@ -52,7 +52,7 @@ pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
 /// Threshold below which the parallel variants fall back to sequential.
 const PAR_THRESHOLD: usize = 1 << 15;
 
-/// Parallel dot product over `threads` crossbeam-scoped workers.
+/// Parallel dot product over `threads` scoped workers.
 pub fn par_dot(x: &[f64], y: &[f64], threads: usize) -> f64 {
     assert_eq!(x.len(), y.len());
     if threads <= 1 || x.len() < PAR_THRESHOLD {
@@ -60,34 +60,33 @@ pub fn par_dot(x: &[f64], y: &[f64], threads: usize) -> f64 {
     }
     let chunk = x.len().div_ceil(threads);
     let mut partials = vec![0.0f64; threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, p) in partials.iter_mut().enumerate() {
             let xs = &x[(i * chunk).min(x.len())..((i + 1) * chunk).min(x.len())];
             let ys = &y[(i * chunk).min(y.len())..((i + 1) * chunk).min(y.len())];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *p = dot(xs, ys);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     partials.into_iter().sum()
 }
 
-/// Parallel axpy over `threads` crossbeam-scoped workers.
+/// Parallel axpy over `threads` scoped workers.
 pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
     assert_eq!(x.len(), y.len());
     if threads <= 1 || x.len() < PAR_THRESHOLD {
         return axpy(alpha, x, y);
     }
     let chunk = x.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = &mut y[..];
         let mut offset = 0usize;
         for _ in 0..threads {
             let take = chunk.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
             let xs = &x[offset..offset + take];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 axpy(alpha, xs, head);
             });
             rest = tail;
@@ -96,8 +95,7 @@ pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
                 break;
             }
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -80,7 +80,10 @@ fn main() {
          trivial per stage): {:.0}",
         total.value
     );
-    assert!(total.value <= exec as f64, "a sound LB cannot exceed a real game");
+    assert!(
+        total.value <= exec as f64,
+        "a sound LB cannot exceed a real game"
+    );
     println!(
         "\ntakeaway: per-stage accounting ({per_stage:.0} at N = {n}, growing ~N^2.5)\n\
          wildly over-estimates the composite optimum (4N+1 = {}), while the\n\

@@ -30,7 +30,10 @@ fn main() {
     //    after untagging inputs (Theorem 3 makes the bound transfer).
     let s_budget = 3u64;
     let lb = auto_wavefront_bound(&untag_inputs(&g), s_budget, AnchorStrategy::All);
-    println!("Lemma-2 lower bound with S = {s_budget}: {} ({})", lb.value, lb.detail);
+    println!(
+        "Lemma-2 lower bound with S = {s_budget}: {} ({})",
+        lb.value, lb.detail
+    );
 
     // 3. Exact optimum by exhaustive search (the graph is tiny).
     let opt = optimal_io(&g, s_budget as usize, GameKind::Rbw).expect("solvable");

@@ -50,7 +50,10 @@ fn main() {
             r.total_dram_reads() as f64 / lb
         );
     }
-    println!("{:<22} {:>11} {:>12} {:>10}", "Theorem-10 LB", lb as u64, "-", "1.0x");
+    println!(
+        "{:<22} {:>11} {:>12} {:>10}",
+        "Theorem-10 LB", lb as u64, "-", "1.0x"
+    );
     assert!(
         untiled.total_dram_traffic() as f64 >= lb,
         "simulated traffic may never beat the bound"

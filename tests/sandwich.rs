@@ -69,7 +69,11 @@ fn executor_policies_all_valid_on_bigger_kernels() {
     let order = topological_order(&g);
     for s in [12usize, 24, 48] {
         let analytic = dmc::kernels::matmul::matmul_io_lower_bound(5, s as u64);
-        for policy in [EvictionPolicy::Lru, EvictionPolicy::Belady, EvictionPolicy::Fifo] {
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Belady,
+            EvictionPolicy::Fifo,
+        ] {
             let ub = certified_upper_bound(&g, s, &order, policy).expect("fits");
             assert!(
                 analytic <= ub as f64,

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`
+//! builder knobs, `benchmark_group`/`bench_function`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is deliberately simple: each
+//! benchmark runs a calibration pass to size batches, then `sample_size`
+//! timed samples, and reports min/mean/max wall-clock time per iteration.
+//! There is no statistical outlier analysis, HTML report, or baseline
+//! comparison; swap in the real crate for those.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (mirrors criterion's enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: moderate batches.
+    SmallInput,
+    /// Large per-iteration inputs: tiny batches.
+    LargeInput,
+    /// Re-run setup before every iteration.
+    PerIteration,
+    /// Exactly this many batches per sample.
+    NumBatches(u64),
+    /// Exactly this many iterations per batch.
+    NumIterations(u64),
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_benchmark(self, &label, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &label, f);
+        self
+    }
+
+    /// Finishes the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(c.sample_size),
+        sample_size: c.sample_size,
+        warm_up_time: c.warm_up_time,
+        measurement_time: c.measurement_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing over automatically sized batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.calibrate(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch: u64 = match size {
+            BatchSize::PerIteration => 1,
+            BatchSize::NumIterations(n) => n.max(1),
+            BatchSize::SmallInput => 32,
+            BatchSize::LargeInput => 4,
+            BatchSize::NumBatches(_) => 16,
+        };
+        self.calibrate(|iters| {
+            let mut elapsed = Duration::ZERO;
+            let mut done = 0u64;
+            while done < iters {
+                let n = per_batch.min(iters - done);
+                let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                elapsed += start.elapsed();
+                done += n;
+            }
+            elapsed
+        });
+    }
+
+    /// Warm-up + batch-size calibration + sampling, shared by both modes.
+    fn calibrate<M: FnMut(u64) -> Duration>(&mut self, mut measure: M) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters = 1u64;
+        let mut last = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up_time {
+            last = measure(iters);
+            if last < Duration::from_millis(1) {
+                iters = iters.saturating_mul(2);
+            } else if warm_start.elapsed() >= self.warm_up_time / 2 {
+                break;
+            }
+        }
+        let per_iter = last.as_nanos().max(1) as f64 / iters as f64;
+        // Size samples so the whole measurement fits the time budget.
+        let budget_per_sample = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        self.iters_per_sample = ((budget_per_sample / per_iter) as u64).clamp(1, 1 << 24);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let elapsed = measure(self.iters_per_sample);
+            self.samples
+                .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

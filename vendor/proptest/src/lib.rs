@@ -1,0 +1,202 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API the workspace's property tests
+//! use — [`Strategy`](strategy::Strategy) with `prop_map`/`prop_flat_map`,
+//! range/tuple/`Just`/collection/bool strategies, the [`proptest!`] test
+//! macro with `#![proptest_config(..)]`, and the `prop_assert*` /
+//! [`prop_assume!`] macros. Differences from the real crate:
+//!
+//! * **No shrinking.** A failing case panics with the deterministic seed of
+//!   the failing attempt so it can be replayed by rerunning the test.
+//! * **Deterministic seeding.** Case seeds derive from the test's module
+//!   path and name via FNV-1a, so runs are reproducible across machines —
+//!   the paper-reproduction priority here — at the cost of never exploring
+//!   new inputs between runs.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean-valued strategies (subset of `proptest::bool`).
+pub mod bool {
+    use crate::strategy::Weighted;
+
+    /// Strategy producing `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "weighted: p not in [0, 1]");
+        Weighted { p }
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Strategy producing a `Vec` of exactly `len` elements drawn from
+    /// `element`. (The real crate accepts a size *range*; the workspace
+    /// only uses exact sizes.)
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// FNV-1a hash of a string; seeds per-test RNG streams deterministically.
+#[doc(hidden)]
+pub fn __fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Subset of `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let stream = $crate::__fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempt: u32 = 0;
+            // Bound total attempts so pathological prop_assume! filters
+            // terminate instead of spinning forever.
+            let max_attempts = config.cases.saturating_mul(32).max(64);
+            while accepted < config.cases {
+                attempt += 1;
+                assert!(
+                    attempt <= max_attempts,
+                    "proptest: too many rejected cases ({} attempts, {} accepted)",
+                    attempt, accepted
+                );
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stream, attempt as u64);
+                let outcome: $crate::test_runner::TestCaseResult = {
+                    $crate::__proptest_bind! { (__rng) $($params)* }
+                    let mut __case = move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    __case()
+                };
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err(e) if e.is_rejection() => {}
+                    Err(e) => panic!(
+                        "proptest case failed (test {}, attempt {}, stream {:#x}): {}",
+                        stringify!($name), attempt, stream, e
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( ($rng:ident) $pat:pat in $strat:expr ) => {
+        let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+    };
+    ( ($rng:ident) $pat:pat in $strat:expr, $($rest:tt)* ) => {
+        let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut $rng);
+        $crate::__proptest_bind! { ($rng) $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), lhs, rhs
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget) when
+/// the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}

@@ -1,0 +1,144 @@
+//! Strategies: composable random-value generators.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// A recipe for generating values of `Self::Value` (subset of
+/// `proptest::strategy::Strategy`; no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to produce a dependent strategy,
+    /// then draws from that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Strategy returned by [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy returned by [`crate::bool::weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    pub(crate) p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(self.p)
+    }
+}

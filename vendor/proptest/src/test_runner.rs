@@ -1,0 +1,89 @@
+//! Test-runner plumbing: configuration, case outcomes, and the per-case RNG.
+
+use std::fmt;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass: a hard failure or a `prop_assume!`
+/// rejection (the latter is retried, not reported).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    rejection: bool,
+    message: String,
+}
+
+impl TestCaseError {
+    /// A hard assertion failure.
+    pub fn fail(message: String) -> Self {
+        TestCaseError {
+            rejection: false,
+            message,
+        }
+    }
+
+    /// A `prop_assume!` rejection.
+    pub fn reject(message: &str) -> Self {
+        TestCaseError {
+            rejection: true,
+            message: message.to_string(),
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Outcome of a single generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-case RNG: a [`rand::rngs::StdRng`] seeded from the test's stream
+/// hash and the attempt index, so every case is independently replayable.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// RNG for attempt `attempt` of the test stream `stream`.
+    pub fn for_case(stream: u64, attempt: u64) -> Self {
+        use rand::SeedableRng as _;
+        let seed = stream
+            .rotate_left(17)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt);
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no registry access, so this vendor crate
+//! provides just enough of serde's surface for the workspace to compile:
+//! the two marker traits and (behind the `derive` feature) the no-op
+//! derive macros from the sibling `serde_derive` stub. Nothing in the
+//! workspace performs actual serialization yet; when it does, replace the
+//! `vendor/serde*` crates with the real ones.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
