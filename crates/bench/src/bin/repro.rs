@@ -3,10 +3,46 @@
 //! Usage:
 //! ```text
 //! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|partition|parallel|figures|all]
+//!       [--threads N]
 //! ```
+//!
+//! `--threads N` pins the wavefront-engine worker count for the `mincut`
+//! experiment (`0` or omitted = `std::thread::available_parallelism`).
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!(
+        "{msg}; expected one of: table1 sec3 cg gmres \
+         jacobi pebbling mincut partition parallel figures all \
+         (plus optional --threads N)"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize;
+    let mut experiment: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--threads" {
+            i += 1;
+            threads = args
+                .get(i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage_error("--threads needs a non-negative integer"));
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            threads = v
+                .parse()
+                .unwrap_or_else(|_| usage_error("--threads needs a non-negative integer"));
+        } else if experiment.is_none() && !a.starts_with('-') {
+            experiment = Some(a.clone());
+        } else {
+            usage_error(&format!("unknown experiment '{a}'"));
+        }
+        i += 1;
+    }
+    let arg = experiment.unwrap_or_else(|| "all".to_string());
     let out = match arg.as_str() {
         "table1" => dmc_bench::table1(),
         "sec3" => dmc_bench::sec3_composite(&[2, 4, 8]),
@@ -14,18 +50,12 @@ fn main() {
         "gmres" => dmc_bench::gmres_experiment(),
         "jacobi" => dmc_bench::jacobi_experiment(),
         "pebbling" | "validate" => dmc_bench::pebbling_experiment(),
-        "mincut" => dmc_bench::mincut_experiment(),
+        "mincut" => dmc_bench::mincut_experiment_with(threads),
         "partition" => dmc_bench::partition_experiment(),
         "parallel" => dmc_bench::parallel_experiment(),
         "figures" | "fig1" | "fig2" | "solvers" => dmc_bench::figures(),
         "all" => dmc_bench::run_all(),
-        other => {
-            eprintln!(
-                "unknown experiment '{other}'; expected one of: table1 sec3 cg gmres \
-                 jacobi pebbling mincut partition parallel figures all"
-            );
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown experiment '{other}'")),
     };
     print!("{out}");
 }

@@ -327,8 +327,18 @@ pub fn pebbling_experiment() -> String {
     out
 }
 
-/// E11 — automated min-cut wavefronts vs analytic CG wavefronts.
+/// E11 — automated min-cut wavefronts vs analytic CG wavefronts, with
+/// automatic engine thread count.
 pub fn mincut_experiment() -> String {
+    mincut_experiment_with(0)
+}
+
+/// [`mincut_experiment`] with an explicit wavefront-engine worker count
+/// (`0` = `std::thread::available_parallelism`), as set by the `repro`
+/// binary's `--threads` flag.
+pub fn mincut_experiment_with(threads: usize) -> String {
+    use dmc_cdag::engine::WavefrontEngine;
+    use dmc_core::bounds::mincut::auto_wavefront_bound_with;
     let mut out = String::from("== E11 / §3.3: automated min-cut wavefronts ==\n");
     out.push_str("CG υx anchors: auto cut vs paper's 2n^d (ours counts r, rr, υx too):\n");
     out.push_str("n    d   auto   paper-2n^d   3n^d+2(exact for our CDAG)\n");
@@ -345,9 +355,32 @@ pub fn mincut_experiment() -> String {
         ("all", AnchorStrategy::All),
         ("per-level", AnchorStrategy::PerLevel),
         ("stride-8", AnchorStrategy::Stride(8)),
+        ("adaptive", AnchorStrategy::Adaptive),
     ] {
-        let b = auto_wavefront_bound(&g, 4, strat);
+        let b = auto_wavefront_bound_with(&g, 4, strat, threads);
         let _ = writeln!(out, "  {name:<10} {:<6.0} {}", b.value, b.detail);
+    }
+    // Engine scaling: the bound must not vary with the worker count; only
+    // the wall clock may.
+    out.push_str("\nengine scaling, ladder(10,10), All anchors (w^max invariant in threads):\n");
+    out.push_str("threads  w^max  evaluated/anchors  ms\n");
+    let g = untag_inputs(&chains::ladder(10, 10));
+    let anchors: Vec<dmc_cdag::VertexId> = g.vertices().collect();
+    let mut counts = vec![1usize, 2, 4, 8];
+    if threads != 0 && !counts.contains(&threads) {
+        counts.push(threads);
+    }
+    for t in counts {
+        let engine = WavefrontEngine::new(&g).with_threads(t);
+        let t0 = std::time::Instant::now();
+        let run = engine.run(&anchors);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let wmax = run.best.as_ref().map_or(0, |w| w.size);
+        let _ = writeln!(
+            out,
+            "{t:<8} {wmax:<6} {:>5}/{:<11} {ms:.1}",
+            run.anchors_evaluated, run.anchors_considered
+        );
     }
     out
 }
@@ -530,6 +563,26 @@ mod tests {
             let cols: Vec<&str> = line.split_whitespace().collect();
             assert_eq!(cols[2], cols[4], "auto != exact in {line:?}");
         }
+    }
+
+    #[test]
+    fn mincut_scaling_bound_invariant_in_threads() {
+        let t = mincut_experiment_with(3);
+        let header = t
+            .lines()
+            .position(|l| l.starts_with("threads"))
+            .expect("scaling table present");
+        let wmaxes: Vec<&str> = t
+            .lines()
+            .skip(header + 1)
+            .take_while(|l| !l.is_empty())
+            .map(|l| l.split_whitespace().nth(1).expect("w^max column"))
+            .collect();
+        assert!(wmaxes.len() >= 5, "1/2/4/8 plus the requested 3: {t}");
+        assert!(
+            wmaxes.iter().all(|w| w == &wmaxes[0]),
+            "w^max varies with thread count: {wmaxes:?}"
+        );
     }
 
     #[test]

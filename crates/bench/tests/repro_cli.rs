@@ -51,6 +51,33 @@ fn table1_prints_the_balance_table() {
 }
 
 #[test]
+fn mincut_honours_threads_flag() {
+    let out = repro()
+        .args(["mincut", "--threads", "2"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "mincut --threads 2 must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("engine scaling"),
+        "mincut prints the engine scaling table: {stdout}"
+    );
+    assert!(
+        stdout.contains("adaptive"),
+        "mincut prints the adaptive ablation row: {stdout}"
+    );
+}
+
+#[test]
+fn bad_threads_value_exits_with_usage_error() {
+    let out = repro()
+        .args(["mincut", "--threads", "lots"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad --threads must exit 2");
+}
+
+#[test]
 fn default_argument_is_all() {
     // No argument behaves like `all`; just check it starts cleanly by
     // running the cheapest single experiment instead of the full sweep.

@@ -138,13 +138,18 @@ impl BitSet {
         self.trim_tail();
     }
 
-    /// `true` if `self` and `other` share no element.
+    /// `true` if `self` and `other` share no element. Panics if capacities
+    /// differ (a silent `zip` would ignore the longer set's tail words).
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "BitSet capacity mismatch");
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
-    /// `true` if every element of `self` is in `other`.
+    /// `true` if every element of `self` is in `other`. Panics if
+    /// capacities differ (a silent `zip` would ignore the longer set's tail
+    /// words and could wrongly report `true`).
     pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "BitSet capacity mismatch");
         self.words
             .iter()
             .zip(&other.words)
@@ -281,6 +286,24 @@ mod tests {
         assert!(!b.is_subset(&a));
         assert!(a.is_disjoint(&c));
         assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn subset_rejects_capacity_mismatch() {
+        // Regression: a longer `self` used to have its tail words silently
+        // ignored, so {100} ⊆ {} came back `true`.
+        let a = BitSet::from_indices(128, [100]);
+        let b = BitSet::new(64);
+        let _ = a.is_subset(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn disjoint_rejects_capacity_mismatch() {
+        let a = BitSet::from_indices(128, [100]);
+        let b = BitSet::from_indices(64, [1]);
+        let _ = a.is_disjoint(&b);
     }
 
     #[test]

@@ -124,12 +124,21 @@ pub struct MinWavefront {
 /// `|W^min_G(x)|`, as a vertex min-cut between `{x} ∪ Anc(x)` and
 /// `Desc(x)` (paper, §3.3 "Correspondence with Graph Min-cut").
 ///
-/// The returned `size` is the max-flow value. Because every schedule
-/// wavefront at the instant `x` fires contains `x` itself, the true
-/// `|W^min(x)|` lies in `[size, size + 1]`; `size` is therefore a *sound*
-/// value to plug into Lemma 2. (When `x` has any descendant, every
-/// `Anc(x) → Desc(x)` path through `x` must be cut, so `x` or one of its
-/// dominating vertices is already counted.)
+/// The returned `size` is the max-flow value, and its relation to the true
+/// `|W^min(x)|` splits exactly on whether `x` has descendants:
+///
+/// * **`Desc(x) ≠ ∅`: `|W^min(x)| = size`, exactly.** Every schedule
+///   wavefront at the instant `x` fires is a separating set for the cut
+///   problem (the last fired vertex on any `Anc(x) ∪ {x} → Desc(x)` path
+///   has an unfired consumer, so it is in the wavefront), giving
+///   `size ≤ |W^min(x)|`; conversely a schedule firing a minimum cut's
+///   source side first realizes a wavefront of exactly `size` vertices.
+/// * **`Desc(x) = ∅`: `|W^min(x)| = size + 1 = 1`.** The cut problem is
+///   vacuous (`size = 0`), but every schedule wavefront at `x`'s firing
+///   still contains `x` itself.
+///
+/// In both cases `size ≤ |W^min(x)|`, so `size` is always a *sound* value
+/// to plug into Lemma 2.
 pub fn min_wavefront(g: &Cdag, x: VertexId) -> MinWavefront {
     let mut sources = ancestors(g, x);
     sources.insert(x.index());

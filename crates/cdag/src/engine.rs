@@ -1,0 +1,468 @@
+//! Parallel batched wavefront engine — `w^max` at production scale.
+//!
+//! Lemma 2 of the paper (§3.3) needs `w^max = max_x |W^min(x)|`, which is
+//! one vertex min-cut per anchor `x`. The naive loop solves `|V|`
+//! independent Dinic max-flows, each rebuilding the `2n + 2`-node split
+//! network and re-deriving the ancestor/descendant bitsets from scratch.
+//! Those flows share no state, so the problem is embarrassingly parallel —
+//! but a useful engine has to get three things right:
+//!
+//! 1. **Arena reuse.** Each worker owns one [`FlowNetwork`] arena plus
+//!    reachability scratch ([`AnchorScratch`]); per-anchor work allocates
+//!    nothing beyond the witness cut (see [`FlowNetwork::reset`]).
+//! 2. **Deterministic merge.** Workers race on a shared anchor queue, but
+//!    the result is merged by `(cut size, anchor position)` — exactly the
+//!    tie-break of the serial baseline's `max_by_key` (last maximum wins) —
+//!    so the engine returns *bit-identical* results at any thread count.
+//! 3. **Best-so-far pruning.** Anchors are scheduled by a cheap per-depth
+//!    *level-cut width* estimate (an upper bound on `|W^min(x)|`, see
+//!    [`WavefrontEngine::anchor_estimate`]); an anchor whose estimate is
+//!    strictly below the best completed cut can neither beat nor tie it and
+//!    is skipped without touching the flow network. Because only
+//!    provably-dominated anchors are skipped, pruning preserves both the
+//!    maximum and the deterministic tie-break.
+//!
+//! The engine also hosts the adaptive sampling mode
+//! ([`WavefrontEngine::run_adaptive`]): a per-level coarse pass followed by
+//! exhaustive refinement of the depth neighbourhood of the best anchor.
+
+use crate::bitset::BitSet;
+use crate::cut::MinWavefront;
+use crate::flow::{vertex_min_cut_into, FlowNetwork, VertexCut, VertexCutOptions};
+use crate::graph::{Cdag, VertexId};
+use crate::reach::{ancestors_into, descendants_into};
+use crate::topo::depths;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Result of one engine batch: the winning wavefront plus work accounting.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The maximum minimum-wavefront over the batch (`None` for an empty
+    /// anchor set). Identical — size, anchor, and witness cut — to the
+    /// serial [`crate::cut::max_min_wavefront`] at any thread count.
+    pub best: Option<MinWavefront>,
+    /// Anchors handed to the engine (adaptive mode: both phases).
+    pub anchors_considered: usize,
+    /// Max-flows actually solved; the difference to `anchors_considered`
+    /// is the number of anchors eliminated by best-so-far pruning. Unlike
+    /// `best`, this diagnostic can vary slightly with thread timing: a
+    /// worker may start a borderline anchor before another worker
+    /// publishes the best-so-far that would have pruned it.
+    pub anchors_evaluated: usize,
+}
+
+/// Per-worker scratch: one flow arena plus reachability buffers, reused
+/// across every anchor the worker processes.
+struct AnchorScratch {
+    net: FlowNetwork,
+    sources: BitSet,
+    sinks: BitSet,
+    stack: Vec<VertexId>,
+}
+
+impl AnchorScratch {
+    fn new(n: usize) -> Self {
+        AnchorScratch {
+            net: FlowNetwork::new(0),
+            sources: BitSet::new(n),
+            sinks: BitSet::new(n),
+            stack: Vec::new(),
+        }
+    }
+
+    /// [`crate::cut::min_wavefront`] without the per-call allocations.
+    fn min_wavefront(&mut self, g: &Cdag, x: VertexId) -> MinWavefront {
+        ancestors_into(g, x, &mut self.sources, &mut self.stack);
+        self.sources.insert(x.index());
+        descendants_into(g, x, &mut self.sinks, &mut self.stack);
+        if self.sinks.is_empty() {
+            return MinWavefront {
+                anchor: x,
+                size: 0,
+                cut: VertexCut {
+                    size: 0,
+                    vertices: Vec::new(),
+                },
+            };
+        }
+        let cut = vertex_min_cut_into(
+            g,
+            &self.sources,
+            &self.sinks,
+            VertexCutOptions {
+                sources_cuttable: true,
+                sinks_cuttable: false,
+            },
+            &mut self.net,
+        )
+        .expect("cut always exists when all source vertices are cuttable");
+        MinWavefront {
+            anchor: x,
+            size: cut.size,
+            cut,
+        }
+    }
+}
+
+/// Batched, multi-threaded `max_x |W^min(x)|` solver over a fixed CDAG.
+///
+/// Construction precomputes the depth levels and the per-level pruning
+/// estimates once (`O(|V| + |E|)`); each [`WavefrontEngine::run`] then fans
+/// the anchor batch out over scoped worker threads.
+pub struct WavefrontEngine<'g> {
+    g: &'g Cdag,
+    threads: usize,
+    depth: Vec<u32>,
+    /// `level_cut_width[d]` = size of the wavefront of the depth-`d` level
+    /// cut — an upper bound on `|W^min(x)|` for every anchor at depth `d`.
+    level_cut_width: Vec<usize>,
+}
+
+impl<'g> WavefrontEngine<'g> {
+    /// Builds an engine for `g` with automatic thread count
+    /// (`std::thread::available_parallelism`).
+    pub fn new(g: &'g Cdag) -> Self {
+        let depth = depths(g);
+        let max_d = depth.iter().copied().max().unwrap_or(0) as usize;
+        // Difference array over depth: a vertex `v` with successors is live
+        // across every level cut `d` with `depth(v) <= d < max depth over
+        // successors(v)`.
+        let mut diff = vec![0i64; max_d + 2];
+        for v in g.vertices() {
+            let hi = g
+                .successors(v)
+                .iter()
+                .map(|s| depth[s.index()] as usize)
+                .max();
+            if let Some(hi) = hi {
+                diff[depth[v.index()] as usize] += 1;
+                diff[hi] -= 1;
+            }
+        }
+        let mut level_cut_width = vec![0usize; max_d + 1];
+        let mut acc = 0i64;
+        for (d, w) in level_cut_width.iter_mut().enumerate() {
+            acc += diff[d];
+            *w = acc as usize;
+        }
+        WavefrontEngine {
+            g,
+            threads: 0,
+            depth,
+            level_cut_width,
+        }
+    }
+
+    /// Sets the worker-thread count; `0` selects
+    /// `std::thread::available_parallelism`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker count for a batch of `batch` anchors.
+    fn resolved_threads(&self, batch: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let t = if self.threads == 0 {
+            auto()
+        } else {
+            self.threads
+        };
+        t.clamp(1, batch.max(1))
+    }
+
+    /// Cheap upper bound on `|W^min(x)|`: the wavefront size of the *level
+    /// cut* at `depth(x)` (`S = {v : depth(v) ≤ depth(x)}`). That cut is
+    /// convex, its `S` side contains `{x} ∪ Anc(x)`, its `T` side contains
+    /// `Desc(x)`, and none of its wavefront vertices lie in `Desc(x)` — so
+    /// its wavefront is a valid (cuttable) separating set for the anchored
+    /// min-cut problem, hence an upper bound on the min cut.
+    pub fn anchor_estimate(&self, x: VertexId) -> usize {
+        self.level_cut_width[self.depth[x.index()] as usize]
+    }
+
+    /// Computes `max_x |W^min(x)|` over `anchors` — the parallel, pruned
+    /// equivalent of [`crate::cut::max_min_wavefront`]. Results (size,
+    /// winning anchor, witness cut) are identical to the serial baseline at
+    /// any thread count.
+    pub fn run(&self, anchors: &[VertexId]) -> EngineRun {
+        self.run_with_floor(anchors, 0)
+    }
+
+    /// [`WavefrontEngine::run`] with pruning pre-seeded at `floor`: anchors
+    /// whose estimate is strictly below `floor` are skipped outright. Used
+    /// by the adaptive refinement phase, whose coarse pass has already
+    /// proved a cut of size `floor`; the caller must treat any returned
+    /// `best` of size `<= floor` as dominated by that earlier result.
+    fn run_with_floor(&self, anchors: &[VertexId], floor: usize) -> EngineRun {
+        if anchors.is_empty() {
+            return EngineRun {
+                best: None,
+                anchors_considered: 0,
+                anchors_evaluated: 0,
+            };
+        }
+        // Schedule positions largest-estimate-first so the global best
+        // rises early and pruning bites; the sort is stable, and the merge
+        // below is order-independent anyway.
+        let mut sched: Vec<u32> = (0..anchors.len() as u32).collect();
+        sched.sort_by_key(|&i| std::cmp::Reverse(self.anchor_estimate(anchors[i as usize])));
+        let next = AtomicUsize::new(0);
+        let best_size = AtomicUsize::new(floor);
+        let evaluated = AtomicUsize::new(0);
+        let threads = self.resolved_threads(anchors.len());
+        let locals: Vec<Option<(usize, MinWavefront)>> = if threads == 1 {
+            vec![self.worker(anchors, &sched, &next, &best_size, &evaluated)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| self.worker(anchors, &sched, &next, &best_size, &evaluated))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("wavefront worker panicked"))
+                    .collect()
+            })
+        };
+        // Deterministic merge: max by (size, anchor position). Matches the
+        // serial `max_by_key`, which returns the *last* maximal element.
+        let best = locals
+            .into_iter()
+            .flatten()
+            .max_by_key(|(pos, w)| (w.size, *pos))
+            .map(|(_, w)| w);
+        EngineRun {
+            best,
+            anchors_considered: anchors.len(),
+            anchors_evaluated: evaluated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One worker: pull anchors off the shared queue, prune, solve, and
+    /// keep the local `(position, wavefront)` maximum.
+    fn worker(
+        &self,
+        anchors: &[VertexId],
+        sched: &[u32],
+        next: &AtomicUsize,
+        best_size: &AtomicUsize,
+        evaluated: &AtomicUsize,
+    ) -> Option<(usize, MinWavefront)> {
+        let mut scratch = AnchorScratch::new(self.g.num_vertices());
+        let mut local: Option<(usize, MinWavefront)> = None;
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= sched.len() {
+                break;
+            }
+            let pos = sched[k] as usize;
+            let x = anchors[pos];
+            // Best-so-far pruning: `anchor_estimate` upper-bounds the cut,
+            // so a strictly smaller estimate can neither beat nor tie the
+            // best completed result — skipping cannot change the argmax.
+            if self.anchor_estimate(x) < best_size.load(Ordering::Relaxed) {
+                continue;
+            }
+            let w = scratch.min_wavefront(self.g, x);
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            best_size.fetch_max(w.size, Ordering::Relaxed);
+            let better = match &local {
+                None => true,
+                Some((p, b)) => (w.size, pos) > (b.size, *p),
+            };
+            if better {
+                local = Some((pos, w));
+            }
+        }
+        local
+    }
+
+    /// One anchor per depth level (the level midpoint) — the engine-side
+    /// twin of the `PerLevel` sampling strategy, and the coarse phase of
+    /// [`WavefrontEngine::run_adaptive`].
+    pub fn per_level_anchors(&self) -> Vec<VertexId> {
+        let mut per_level: Vec<Vec<VertexId>> = vec![Vec::new(); self.level_cut_width.len()];
+        for v in self.g.vertices() {
+            per_level[self.depth[v.index()] as usize].push(v);
+        }
+        per_level
+            .into_iter()
+            .filter(|l| !l.is_empty())
+            .map(|l| l[l.len() / 2])
+            .collect()
+    }
+
+    /// Adaptive sampling: a coarse per-level pass locates the most
+    /// promising depth, then *every* vertex within one depth level of the
+    /// coarse winner is evaluated. Between `PerLevel` (which it dominates:
+    /// the coarse phase is exactly `PerLevel`) and `All` in both cost and
+    /// bound quality; the returned `best` is deterministic at any thread
+    /// count (only the `anchors_evaluated` diagnostic may vary).
+    pub fn run_adaptive(&self) -> EngineRun {
+        let seeds = self.per_level_anchors();
+        let coarse = self.run(&seeds);
+        let Some(coarse_best) = coarse.best else {
+            return coarse;
+        };
+        let mut seed_set = BitSet::new(self.g.num_vertices());
+        for s in &seeds {
+            seed_set.insert(s.index());
+        }
+        let d_star = self.depth[coarse_best.anchor.index()];
+        let lo = d_star.saturating_sub(1);
+        let hi = d_star + 1;
+        let refine: Vec<VertexId> = self
+            .g
+            .vertices()
+            .filter(|v| {
+                let d = self.depth[v.index()];
+                d >= lo && d <= hi && !seed_set.contains(v.index())
+            })
+            .collect();
+        // Seed the refinement's pruning with the coarse winner: refinement
+        // anchors whose estimate cannot beat it are already dominated.
+        let fine = self.run_with_floor(&refine, coarse_best.size);
+        // The refinement can only improve the bound; ties keep the coarse
+        // winner (deterministic: both phases are).
+        let best = match fine.best {
+            Some(f) if f.size > coarse_best.size => Some(f),
+            _ => Some(coarse_best),
+        };
+        EngineRun {
+            best,
+            anchors_considered: coarse.anchors_considered + fine.anchors_considered,
+            anchors_evaluated: coarse.anchors_evaluated + fine.anchors_evaluated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdagBuilder;
+    use crate::cut::max_min_wavefront;
+    use crate::flow::is_separating_vertex_set;
+    use crate::reach::{ancestors, descendants};
+
+    fn diamond() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.add_input("a");
+        let x = b.add_op("b", &[a]);
+        let y = b.add_op("c", &[a]);
+        let d = b.add_op("d", &[x, y]);
+        b.tag_output(d);
+        b.build().unwrap()
+    }
+
+    /// Widths 1, 3, 2, 3, 1 across five layers — uneven on purpose so the
+    /// pruning estimates differ per level.
+    fn lumpy() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let s = b.add_input("s");
+        let l1: Vec<_> = (0..3).map(|i| b.add_op(format!("a{i}"), &[s])).collect();
+        let l2: Vec<_> = (0..2).map(|i| b.add_op(format!("b{i}"), &l1)).collect();
+        let l3: Vec<_> = (0..3).map(|i| b.add_op(format!("c{i}"), &l2)).collect();
+        let t = b.add_op("t", &l3);
+        b.tag_output(t);
+        b.build().unwrap()
+    }
+
+    fn assert_matches_serial(g: &Cdag, threads: usize) {
+        let anchors: Vec<VertexId> = g.vertices().collect();
+        let serial = max_min_wavefront(g, &anchors);
+        let run = WavefrontEngine::new(g).with_threads(threads).run(&anchors);
+        match (serial, run.best) {
+            (None, None) => {}
+            (Some(s), Some(e)) => {
+                assert_eq!(e.size, s.size, "size @ {threads} threads");
+                assert_eq!(e.anchor, s.anchor, "anchor @ {threads} threads");
+                assert_eq!(
+                    e.cut.vertices, s.cut.vertices,
+                    "witness @ {threads} threads"
+                );
+            }
+            (s, e) => panic!("serial {s:?} vs engine {e:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_matches_serial_on_diamond_and_lumpy() {
+        for t in [1usize, 2, 4] {
+            assert_matches_serial(&diamond(), t);
+            assert_matches_serial(&lumpy(), t);
+        }
+    }
+
+    #[test]
+    fn estimates_upper_bound_every_anchor() {
+        let g = lumpy();
+        let eng = WavefrontEngine::new(&g);
+        for x in g.vertices() {
+            let w = crate::cut::min_wavefront(&g, x);
+            assert!(
+                eng.anchor_estimate(x) >= w.size,
+                "estimate {} < cut {} at {x}",
+                eng.anchor_estimate(x),
+                w.size
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_skips_dominated_anchors() {
+        let g = lumpy();
+        let anchors: Vec<VertexId> = g.vertices().collect();
+        let run = WavefrontEngine::new(&g).with_threads(1).run(&anchors);
+        assert!(run.anchors_evaluated < run.anchors_considered, "no pruning");
+        assert_eq!(run.best.unwrap().size, 3);
+    }
+
+    #[test]
+    fn witness_cut_separates() {
+        let g = lumpy();
+        let anchors: Vec<VertexId> = g.vertices().collect();
+        let best = WavefrontEngine::new(&g).run(&anchors).best.unwrap();
+        let mut sources = ancestors(&g, best.anchor);
+        sources.insert(best.anchor.index());
+        let sinks = descendants(&g, best.anchor);
+        assert!(is_separating_vertex_set(
+            &g,
+            &sources,
+            &sinks,
+            &best.cut.vertices
+        ));
+    }
+
+    #[test]
+    fn adaptive_between_per_level_and_all() {
+        let g = lumpy();
+        let eng = WavefrontEngine::new(&g);
+        let all: Vec<VertexId> = g.vertices().collect();
+        let b_all = eng.run(&all).best.unwrap().size;
+        let b_pl = eng.run(&eng.per_level_anchors()).best.unwrap().size;
+        let adaptive = eng.run_adaptive();
+        let b_ad = adaptive.best.unwrap().size;
+        assert!(b_pl <= b_ad && b_ad <= b_all, "{b_pl} <= {b_ad} <= {b_all}");
+        assert!(adaptive.anchors_considered <= all.len() + eng.per_level_anchors().len());
+        // Adaptive is deterministic across thread counts.
+        for t in [1usize, 2, 4] {
+            let r = WavefrontEngine::new(&g).with_threads(t).run_adaptive();
+            assert_eq!(r.best.unwrap().size, b_ad);
+        }
+    }
+
+    #[test]
+    fn empty_anchor_set_gives_none() {
+        let g = diamond();
+        let run = WavefrontEngine::new(&g).run(&[]);
+        assert!(run.best.is_none());
+        assert_eq!(run.anchors_considered, 0);
+        assert_eq!(run.anchors_evaluated, 0);
+    }
+}

@@ -24,67 +24,150 @@ const INF: u32 = u32::MAX / 4;
 ///
 /// Arcs are stored in pairs: arc `2k` is the forward arc and `2k+1` its
 /// residual twin, so the reverse of arc `a` is `a ^ 1`.
+///
+/// The network is an *arena*: the arc arrays, the CSR adjacency, and the
+/// Dinic scratch (level, iterator, queue, path buffers) are all retained
+/// across [`FlowNetwork::reset`] calls, so batched workloads — notably the
+/// per-anchor min-cuts of [`crate::engine::WavefrontEngine`] — solve
+/// thousands of flows without re-allocating.
 pub struct FlowNetwork {
-    /// `adj[v]` lists arc indices leaving `v`.
-    adj: Vec<Vec<u32>>,
-    /// Target node of each arc.
+    /// Number of nodes.
+    n: usize,
+    /// Target node of each arc (`to[a ^ 1]` is the source of arc `a`).
     to: Vec<u32>,
     /// Remaining capacity of each arc.
     cap: Vec<u32>,
+    /// CSR offsets: arcs leaving node `v` are
+    /// `adj_arcs[adj_off[v]..adj_off[v + 1]]`. Built lazily by `max_flow`.
+    adj_off: Vec<u32>,
+    /// CSR arc index array (insertion order preserved per node).
+    adj_arcs: Vec<u32>,
+    /// `true` while `adj_off`/`adj_arcs` reflect the current arc set.
+    csr_valid: bool,
+    /// Cursor scratch for the counting-sort CSR build.
+    cursor: Vec<u32>,
+    /// BFS level of each node (Dinic scratch).
+    level: Vec<u32>,
+    /// Current-arc iterator of each node (Dinic scratch).
+    it: Vec<u32>,
+    /// BFS queue (Dinic scratch).
+    queue: Vec<u32>,
+    /// Arc stack of the current augmenting path (Dinic scratch).
+    path: Vec<u32>,
 }
 
 impl FlowNetwork {
     /// Creates a network with `n` nodes and no arcs.
     pub fn new(n: usize) -> Self {
         FlowNetwork {
-            adj: vec![Vec::new(); n],
+            n,
             to: Vec::new(),
             cap: Vec::new(),
+            adj_off: Vec::new(),
+            adj_arcs: Vec::new(),
+            csr_valid: false,
+            cursor: Vec::new(),
+            level: Vec::new(),
+            it: Vec::new(),
+            queue: Vec::new(),
+            path: Vec::new(),
         }
+    }
+
+    /// Clears all arcs and re-sizes to `n` nodes, retaining every buffer's
+    /// allocation. After a reset the network behaves exactly like
+    /// [`FlowNetwork::new`]`(n)`.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.to.clear();
+        self.cap.clear();
+        self.csr_valid = false;
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Adds a directed arc `u → v` with capacity `c`; returns the arc index.
     pub fn add_arc(&mut self, u: usize, v: usize, c: u32) -> u32 {
+        debug_assert!(u < self.n && v < self.n, "arc endpoint out of range");
         let id = self.to.len() as u32;
         self.to.push(v as u32);
         self.cap.push(c);
         self.to.push(u as u32);
         self.cap.push(0);
-        self.adj[u].push(id);
-        self.adj[v].push(id + 1);
+        self.csr_valid = false;
         id
     }
 
+    /// Builds the CSR adjacency from the arc endpoint array (counting sort;
+    /// per-node arc order matches insertion order).
+    fn build_csr(&mut self) {
+        let n = self.n;
+        self.adj_off.clear();
+        self.adj_off.resize(n + 1, 0);
+        for a in 0..self.to.len() {
+            // Arc `a` leaves the node its twin points back to.
+            let u = self.to[a ^ 1] as usize;
+            self.adj_off[u + 1] += 1;
+        }
+        for i in 0..n {
+            self.adj_off[i + 1] += self.adj_off[i];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.adj_off[..n]);
+        self.adj_arcs.clear();
+        self.adj_arcs.resize(self.to.len(), 0);
+        for a in 0..self.to.len() {
+            let u = self.to[a ^ 1] as usize;
+            self.adj_arcs[self.cursor[u] as usize] = a as u32;
+            self.cursor[u] += 1;
+        }
+        self.csr_valid = true;
+    }
+
+    /// Arcs leaving node `u` (requires a built CSR).
+    #[inline]
+    fn arcs_of(&self, u: usize) -> &[u32] {
+        &self.adj_arcs[self.adj_off[u] as usize..self.adj_off[u + 1] as usize]
+    }
+
     /// Computes the maximum `s → t` flow (Dinic's algorithm). Capacities are
-    /// consumed in place; call once per network.
+    /// consumed in place; [`FlowNetwork::reset`] before reusing the arena
+    /// for another flow problem.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
         assert_ne!(s, t, "source and sink must differ");
-        let n = self.num_nodes();
+        if !self.csr_valid {
+            self.build_csr();
+        }
+        let n = self.n;
         let mut flow = 0u64;
-        let mut level = vec![u32::MAX; n];
-        let mut it = vec![0u32; n];
+        let mut level = std::mem::take(&mut self.level);
+        let mut it = std::mem::take(&mut self.it);
+        let mut queue = std::mem::take(&mut self.queue);
+        level.resize(n, 0);
+        it.resize(n, 0);
         loop {
             // BFS to build the level graph.
             level.fill(u32::MAX);
             level[s] = 0;
-            let mut queue = std::collections::VecDeque::new();
-            queue.push_back(s as u32);
-            while let Some(u) = queue.pop_front() {
-                for &a in &self.adj[u as usize] {
+            queue.clear();
+            queue.push(s as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &a in self.arcs_of(u) {
                     let v = self.to[a as usize];
                     if self.cap[a as usize] > 0 && level[v as usize] == u32::MAX {
-                        level[v as usize] = level[u as usize] + 1;
-                        queue.push_back(v);
+                        level[v as usize] = level[u] + 1;
+                        queue.push(v);
                     }
                 }
             }
             if level[t] == u32::MAX {
-                return flow;
+                break;
             }
             it.fill(0);
             // Blocking flow via iterative DFS.
@@ -96,13 +179,18 @@ impl FlowNetwork {
                 flow += pushed as u64;
             }
         }
+        self.level = level;
+        self.it = it;
+        self.queue = queue;
+        flow
     }
 
     /// Sends up to `limit` units along one augmenting path in the level
     /// graph; returns the amount actually pushed (0 if no path remains).
     fn dfs_push(&mut self, s: usize, t: usize, limit: u32, level: &[u32], it: &mut [u32]) -> u32 {
         // Iterative DFS with explicit path stack (graphs can be deep).
-        let mut path: Vec<u32> = Vec::new(); // arcs on the current path
+        let mut path = std::mem::take(&mut self.path); // arcs on the current path
+        path.clear();
         let mut u = s;
         loop {
             if u == t {
@@ -115,11 +203,12 @@ impl FlowNetwork {
                     self.cap[a as usize] -= push;
                     self.cap[(a ^ 1) as usize] += push;
                 }
+                self.path = path;
                 return push;
             }
             let mut advanced = false;
-            while (it[u] as usize) < self.adj[u].len() {
-                let a = self.adj[u][it[u] as usize];
+            while (it[u] as usize) < self.arcs_of(u).len() {
+                let a = self.arcs_of(u)[it[u] as usize];
                 let v = self.to[a as usize] as usize;
                 if self.cap[a as usize] > 0 && level[v] == level[u] + 1 {
                     path.push(a);
@@ -132,21 +221,34 @@ impl FlowNetwork {
             if !advanced {
                 // Dead end: retreat.
                 if u == s {
+                    self.path = path;
                     return 0;
                 }
-                level_retreat(&mut path, &mut u, self, it);
+                let a = path.pop().expect("retreat with non-empty path");
+                let parent = self.to[(a ^ 1) as usize] as usize;
+                // Exhausted this arc from the parent: advance its iterator.
+                it[parent] += 1;
+                u = parent;
             }
         }
     }
 
     /// Nodes reachable from `s` in the residual network (used to extract the
     /// min cut after [`FlowNetwork::max_flow`]).
+    ///
+    /// # Panics
+    /// Panics if no flow has been solved on the current arc set (the CSR
+    /// adjacency is built by `max_flow`).
     pub fn residual_reachable(&self, s: usize) -> BitSet {
+        assert!(
+            self.csr_valid,
+            "residual_reachable requires a prior max_flow on the current arcs"
+        );
         let mut seen = BitSet::new(self.num_nodes());
         seen.insert(s);
         let mut stack = vec![s as u32];
         while let Some(u) = stack.pop() {
-            for &a in &self.adj[u as usize] {
+            for &a in self.arcs_of(u as usize) {
                 if self.cap[a as usize] > 0 {
                     let v = self.to[a as usize] as usize;
                     if seen.insert(v) {
@@ -157,14 +259,6 @@ impl FlowNetwork {
         }
         seen
     }
-}
-
-fn level_retreat(path: &mut Vec<u32>, u: &mut usize, net: &FlowNetwork, it: &mut [u32]) {
-    let a = path.pop().expect("retreat with non-empty path");
-    let parent = net.to[(a ^ 1) as usize] as usize;
-    // Exhausted this arc from the parent: advance the parent's iterator.
-    it[parent] += 1;
-    *u = parent;
 }
 
 /// Result of a vertex min-cut computation.
@@ -212,6 +306,22 @@ pub fn vertex_min_cut(
     sinks: &BitSet,
     opts: VertexCutOptions,
 ) -> Option<VertexCut> {
+    let mut net = FlowNetwork::new(0);
+    vertex_min_cut_into(g, sources, sinks, opts, &mut net)
+}
+
+/// Scratch-reusing variant of [`vertex_min_cut`]: the split network is
+/// rebuilt inside `net`'s retained buffers instead of a fresh allocation.
+/// Intended for batched callers solving one cut per anchor
+/// ([`crate::engine::WavefrontEngine`]); results are identical to
+/// [`vertex_min_cut`].
+pub fn vertex_min_cut_into(
+    g: &Cdag,
+    sources: &BitSet,
+    sinks: &BitSet,
+    opts: VertexCutOptions,
+    net: &mut FlowNetwork,
+) -> Option<VertexCut> {
     let n = g.num_vertices();
     if sources.is_empty() || sinks.is_empty() {
         return Some(VertexCut {
@@ -221,7 +331,7 @@ pub fn vertex_min_cut(
     }
     // Node layout: v_in = 2v, v_out = 2v + 1, super-source = 2n, sink = 2n+1.
     let (s, t) = (2 * n, 2 * n + 1);
-    let mut net = FlowNetwork::new(2 * n + 2);
+    net.reset(2 * n + 2);
     for v in 0..n {
         let is_src = sources.contains(v);
         let is_snk = sinks.contains(v);

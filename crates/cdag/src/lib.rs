@@ -28,6 +28,7 @@
 //! * ancestor / descendant reachability with compact bitsets ([`reach`]),
 //! * Dinic max-flow and *vertex* min-cuts via vertex splitting ([`flow`]),
 //! * convex cuts and schedule wavefronts ([`cut`]),
+//! * a parallel batched engine for `max_x |W^min(x)|` ([`engine`]),
 //! * minimum dominator-set cardinalities ([`dominator`]),
 //! * induced sub-CDAGs and quotient graphs for decomposition ([`subgraph`]),
 //! * Graphviz DOT export ([`dot`]).
@@ -40,6 +41,7 @@ pub mod builder;
 pub mod cut;
 pub mod dominator;
 pub mod dot;
+pub mod engine;
 pub mod flow;
 pub mod graph;
 pub mod reach;
@@ -50,5 +52,6 @@ pub mod topo;
 pub use bitset::BitSet;
 pub use builder::CdagBuilder;
 pub use cut::{ConvexCut, Wavefront};
+pub use engine::{EngineRun, WavefrontEngine};
 pub use graph::{Cdag, VertexId};
 pub use subgraph::{InducedSubCdag, QuotientGraph};

@@ -18,6 +18,18 @@ pub fn descendants(g: &Cdag, v: VertexId) -> BitSet {
     closure(g, v, Direction::Forward)
 }
 
+/// Scratch-reusing [`ancestors`]: clears and fills `out` (whose capacity
+/// must be `|V|`) instead of allocating, reusing `stack` for the DFS.
+pub fn ancestors_into(g: &Cdag, v: VertexId, out: &mut BitSet, stack: &mut Vec<VertexId>) {
+    closure_into(g, v, Direction::Backward, out, stack)
+}
+
+/// Scratch-reusing [`descendants`]: clears and fills `out` (whose capacity
+/// must be `|V|`) instead of allocating, reusing `stack` for the DFS.
+pub fn descendants_into(g: &Cdag, v: VertexId, out: &mut BitSet, stack: &mut Vec<VertexId>) {
+    closure_into(g, v, Direction::Forward, out, stack)
+}
+
 /// Set of all vertices reachable from any seed in `seeds` (following edges
 /// forward), *including* the seeds.
 pub fn forward_closure(g: &Cdag, seeds: &BitSet) -> BitSet {
@@ -66,7 +78,26 @@ fn neighbors(g: &Cdag, v: VertexId, dir: Direction) -> &[VertexId] {
 
 fn closure(g: &Cdag, v: VertexId, dir: Direction) -> BitSet {
     let mut out = BitSet::new(g.num_vertices());
-    let mut stack = vec![v];
+    let mut stack = Vec::new();
+    closure_into(g, v, dir, &mut out, &mut stack);
+    out
+}
+
+fn closure_into(
+    g: &Cdag,
+    v: VertexId,
+    dir: Direction,
+    out: &mut BitSet,
+    stack: &mut Vec<VertexId>,
+) {
+    assert_eq!(
+        out.capacity(),
+        g.num_vertices(),
+        "closure scratch bitset must be sized to |V|"
+    );
+    out.clear();
+    stack.clear();
+    stack.push(v);
     while let Some(u) = stack.pop() {
         for &w in neighbors(g, u, dir) {
             if out.insert(w.index()) {
@@ -74,7 +105,6 @@ fn closure(g: &Cdag, v: VertexId, dir: Direction) -> BitSet {
             }
         }
     }
-    out
 }
 
 fn multi_closure(g: &Cdag, seeds: &BitSet, dir: Direction) -> BitSet {
@@ -143,6 +173,19 @@ mod tests {
             descendants(&g, c).iter().collect::<Vec<_>>(),
             vec![d.index()]
         );
+    }
+
+    #[test]
+    fn into_variants_match_and_reset_scratch() {
+        let g = diamond();
+        let mut out = BitSet::new(g.num_vertices());
+        let mut stack = Vec::new();
+        for v in g.vertices() {
+            ancestors_into(&g, v, &mut out, &mut stack);
+            assert_eq!(out, ancestors(&g, v), "ancestors_into({v})");
+            descendants_into(&g, v, &mut out, &mut stack);
+            assert_eq!(out, descendants(&g, v), "descendants_into({v})");
+        }
     }
 
     #[test]

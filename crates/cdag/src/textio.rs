@@ -64,15 +64,53 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Strips a trailing `# comment` from `line`, honouring double quotes: a
+/// `#` inside a quoted label (with `\"`/`\\` escapes) is content, not a
+/// comment marker.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Reverses the label escaping of [`to_text`] (`\\` → `\`, `\"` → `"`).
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            // A trailing lone backslash cannot be produced by `to_text`;
+            // keep it verbatim rather than dropping input.
+            out.push(chars.next().unwrap_or('\\'));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// Parses the text format back into a [`Cdag`].
 ///
 /// Vertices must be declared with consecutive ids `0..N` before use;
-/// `#`-prefixed suffixes and blank lines are ignored.
+/// `#`-prefixed suffixes (outside quoted labels) and blank lines are
+/// ignored.
 pub fn from_text(text: &str) -> Result<Cdag, ParseError> {
     let mut lines = text
         .lines()
         .enumerate()
-        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .map(|(i, l)| (i + 1, strip_comment(l).trim()))
         .filter(|(_, l)| !l.is_empty());
     let (_, header) = lines.next().ok_or(ParseError::MissingHeader)?;
     let n: usize = header
@@ -94,12 +132,12 @@ pub fn from_text(text: &str) -> Result<Cdag, ParseError> {
                     .ok_or_else(|| bad(lineno, line))?;
                 let tag = it.next().ok_or_else(|| bad(lineno, line))?;
                 let label_raw = it.next().unwrap_or("\"\"").trim();
-                let label = label_raw
-                    .strip_prefix('"')
-                    .and_then(|s| s.strip_suffix('"'))
-                    .unwrap_or(label_raw)
-                    .replace("\\\"", "\"")
-                    .replace("\\\\", "\\");
+                let label = unescape(
+                    label_raw
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .unwrap_or(label_raw),
+                );
                 if id >= n || declared[id] || id != next_expected {
                     return Err(ParseError::BadVertex(id));
                 }
@@ -156,6 +194,30 @@ mod tests {
         let d = b.add_op("d", &[x, y]);
         b.tag_output(d);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn hash_in_label_round_trips() {
+        // Regression: comment stripping used to run before quote parsing,
+        // so a '#' inside a label truncated the line and the graph
+        // round-tripped to different labels.
+        let mut b = CdagBuilder::new();
+        let a = b.add_input("tile #3");
+        let x = b.add_op("#lead \\ mix \"#q\"", &[a]);
+        b.tag_output(x);
+        let g = b.build().unwrap();
+        let g2 = from_text(&to_text(&g)).unwrap();
+        for v in g.vertices() {
+            assert_eq!(g.label(v), g2.label(v), "label of {v}");
+        }
+        assert_eq!(g.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn comment_after_quoted_label_still_stripped() {
+        let text = "cdag 1\nv 0 op \"a#b\" # trailing comment\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.label(VertexId(0)), "a#b");
     }
 
     #[test]

@@ -14,6 +14,17 @@ use dmc_cdag::reach::{all_pairs_reachability, reaches};
 use dmc_cdag::topo::{dfs_topological_order, is_valid_topological_order, topological_order};
 use proptest::prelude::*;
 
+/// Strategy: a short label drawn from a palette that is heavy on the text
+/// format's metacharacters — `#` (comment marker), `"` (quote), `\`
+/// (escape) — plus spaces and ordinary letters.
+fn arb_label() -> impl Strategy<Value = String> {
+    const PALETTE: [char; 10] = ['#', '"', '\\', ' ', 'a', '#', '"', '\\', 'z', '!'];
+    (0usize..8).prop_flat_map(|len| {
+        proptest::collection::vec(0usize..PALETTE.len(), len)
+            .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+    })
+}
+
 /// Strategy: a random DAG as an edge probability matrix over `n` vertices,
 /// with edges only from lower to higher index (guaranteeing acyclicity).
 fn arb_dag(max_n: usize) -> impl Strategy<Value = Cdag> {
@@ -121,6 +132,38 @@ proptest! {
                 }
             }
             prop_assert_eq!(cut.size, best, "flow cut must be minimum");
+        }
+    }
+
+    /// The text format round-trips labels containing its own
+    /// metacharacters: `#` must not be taken for a comment inside quotes,
+    /// and `"`/`\` must survive the escape cycle.
+    #[test]
+    fn textio_round_trips_metacharacter_labels(
+        labels in proptest::collection::vec(arb_label(), 4)
+    ) {
+        let mut b = CdagBuilder::new();
+        let mut prev = None;
+        for l in &labels {
+            let v = match prev {
+                None => b.add_vertex(l.clone()),
+                Some(p) => {
+                    let v = b.add_vertex(l.clone());
+                    b.add_edge(p, v);
+                    v
+                }
+            };
+            prev = Some(v);
+        }
+        b.tag_input(VertexId(0));
+        b.tag_output(prev.unwrap());
+        let g = b.build().unwrap();
+        let text = dmc_cdag::textio::to_text(&g);
+        let g2 = dmc_cdag::textio::from_text(&text).unwrap();
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        for v in g.vertices() {
+            prop_assert_eq!(g.label(v), g2.label(v), "label of {}", v);
         }
     }
 

@@ -10,7 +10,8 @@
 //! the untagged CDAG is also valid for the tagged one.
 
 use super::{IoBound, Method};
-use dmc_cdag::cut::{max_min_wavefront, min_wavefront};
+use dmc_cdag::cut::min_wavefront;
+use dmc_cdag::engine::WavefrontEngine;
 use dmc_cdag::topo::depths;
 use dmc_cdag::{Cdag, VertexId};
 
@@ -37,16 +38,25 @@ pub enum AnchorStrategy {
     /// One vertex per depth level (the midpoint of each level) plus the
     /// deepest vertex: cheap and effective on layered CDAGs.
     PerLevel,
-    /// Deterministic stride sample of ~`k` vertices.
+    /// Deterministic stride sample of at most `k` vertices.
     Stride(usize),
+    /// Two-phase sampling: a `PerLevel` coarse pass, then exhaustive
+    /// refinement of every vertex within one depth level of the coarse
+    /// winner. Dominates `PerLevel` at a fraction of `All`'s cost.
+    Adaptive,
 }
 
 /// Picks anchor vertices per the strategy.
+///
+/// `Adaptive` is dynamic — its refinement anchors depend on intermediate
+/// results — so this returns only its coarse-phase (`PerLevel`) seeds; the
+/// full adaptive schedule lives in
+/// [`WavefrontEngine::run_adaptive`](dmc_cdag::engine::WavefrontEngine::run_adaptive).
 pub fn select_anchors(g: &Cdag, strategy: AnchorStrategy) -> Vec<VertexId> {
     let n = g.num_vertices();
     match strategy {
         AnchorStrategy::All => g.vertices().collect(),
-        AnchorStrategy::PerLevel => {
+        AnchorStrategy::PerLevel | AnchorStrategy::Adaptive => {
             let depth = depths(g);
             let max_d = depth.iter().copied().max().unwrap_or(0) as usize;
             let mut per_level: Vec<Vec<VertexId>> = vec![Vec::new(); max_d + 1];
@@ -61,7 +71,10 @@ pub fn select_anchors(g: &Cdag, strategy: AnchorStrategy) -> Vec<VertexId> {
         }
         AnchorStrategy::Stride(k) => {
             let k = k.max(1);
-            let stride = (n / k).max(1);
+            // `div_ceil`, not truncating division: `(n / k).max(1)` used to
+            // overshoot to up to `2k − 1` anchors (e.g. n = 9, k = 5 gave
+            // stride 1 and 9 anchors).
+            let stride = n.div_ceil(k).max(1);
             (0..n).step_by(stride).map(|i| VertexId(i as u32)).collect()
         }
     }
@@ -70,9 +83,43 @@ pub fn select_anchors(g: &Cdag, strategy: AnchorStrategy) -> Vec<VertexId> {
 /// The automated Lemma-2 lower bound: `2·(max_x |W^min(x)| − S)` over the
 /// sampled anchors. Every anchor yields a valid bound, so sampling only
 /// weakens (never invalidates) the result.
+///
+/// Runs on the parallel batched [`WavefrontEngine`] with automatic thread
+/// count; see [`auto_wavefront_bound_with`] to pin the worker count. The
+/// result is deterministic — bit-identical at any thread count.
 pub fn auto_wavefront_bound(g: &Cdag, s: u64, strategy: AnchorStrategy) -> IoBound {
+    auto_wavefront_bound_with(g, s, strategy, 0)
+}
+
+/// [`auto_wavefront_bound`] with an explicit engine worker count
+/// (`threads == 0` selects `std::thread::available_parallelism`).
+pub fn auto_wavefront_bound_with(
+    g: &Cdag,
+    s: u64,
+    strategy: AnchorStrategy,
+    threads: usize,
+) -> IoBound {
+    let engine = WavefrontEngine::new(g).with_threads(threads);
+    if let AnchorStrategy::Adaptive = strategy {
+        let run = engine.run_adaptive();
+        return match run.best {
+            Some(w) => IoBound::new(
+                lemma2_bound(w.size, s),
+                Method::Wavefront,
+                // Note: only the deterministic anchor count goes into the
+                // detail string — `anchors_evaluated` can vary with thread
+                // timing (see `EngineRun`), and this bound is documented
+                // as bit-identical at any thread count.
+                format!(
+                    "2·(w^max − S) with w^max = {} at anchor {} (adaptive: {} anchors)",
+                    w.size, w.anchor, run.anchors_considered
+                ),
+            ),
+            None => IoBound::new(0.0, Method::Wavefront, "no anchors".to_string()),
+        };
+    }
     let anchors = select_anchors(g, strategy);
-    match max_min_wavefront(g, &anchors) {
+    match engine.run(&anchors).best {
         Some(w) => IoBound::new(
             lemma2_bound(w.size, s),
             Method::Wavefront,
@@ -151,9 +198,101 @@ mod tests {
 
     #[test]
     fn stride_sampling_bounds_count() {
+        // Happy path: n divisible by k gives exactly k anchors.
         let g = chains::ladder(5, 5);
         let anchors = select_anchors(&g, AnchorStrategy::Stride(5));
-        assert!(anchors.len() >= 5 && anchors.len() <= 10);
+        assert_eq!(anchors.len(), 5);
+        // Off the happy path the count must still be <= k. With the old
+        // truncating stride, n = 9 and k = 5 returned 9 anchors.
+        let g = chains::chain(9);
+        let anchors = select_anchors(&g, AnchorStrategy::Stride(5));
+        assert!(
+            !anchors.is_empty() && anchors.len() <= 5,
+            "{}",
+            anchors.len()
+        );
+        // k >= n degenerates to all vertices.
+        let g = chains::chain(3);
+        assert_eq!(select_anchors(&g, AnchorStrategy::Stride(7)).len(), 3);
+        // k = 0 is clamped to one anchor per full stride.
+        let g = chains::chain(4);
+        assert_eq!(select_anchors(&g, AnchorStrategy::Stride(0)).len(), 1);
+    }
+
+    /// The engine-backed bound must be *bit-identical* to the serial
+    /// baseline — value and derivation detail — at every thread count, on
+    /// each family of test graphs (chains, jacobi, random).
+    #[test]
+    fn engine_bound_bit_identical_to_serial_at_any_thread_count() {
+        use dmc_cdag::cut::max_min_wavefront;
+        use dmc_kernels::grid::Stencil;
+        use dmc_kernels::random::{random_layered, RandomDagConfig};
+        let graphs: Vec<(&str, Cdag)> = vec![
+            ("ladder", untagged(&chains::ladder(5, 4))),
+            ("reduction", untagged(&chains::binary_reduction(16))),
+            ("two_stage", untagged(&chains::two_stage(6))),
+            (
+                "jacobi",
+                untagged(&dmc_kernels::jacobi::jacobi_cdag(6, 1, 3, Stencil::VonNeumann).cdag),
+            ),
+            (
+                "random",
+                untagged(&random_layered(RandomDagConfig {
+                    layers: 5,
+                    width: 6,
+                    edge_prob: 0.35,
+                    seed: 1234,
+                })),
+            ),
+        ];
+        for (name, g) in &graphs {
+            for strategy in [
+                AnchorStrategy::All,
+                AnchorStrategy::PerLevel,
+                AnchorStrategy::Stride(7),
+            ] {
+                // The pre-refactor serial implementation, verbatim.
+                let anchors = select_anchors(g, strategy);
+                let expected = match max_min_wavefront(g, &anchors) {
+                    Some(w) => (
+                        lemma2_bound(w.size, 2),
+                        format!(
+                            "2·(w^max − S) with w^max = {} at anchor {} ({} anchors)",
+                            w.size,
+                            w.anchor,
+                            anchors.len()
+                        ),
+                    ),
+                    None => (0.0, "no anchors".to_string()),
+                };
+                for threads in [1usize, 2, 4] {
+                    let b = auto_wavefront_bound_with(g, 2, strategy, threads);
+                    assert_eq!(b.value, expected.0, "{name}/{strategy:?} @ {threads}t");
+                    assert_eq!(b.detail, expected.1, "{name}/{strategy:?} @ {threads}t");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_dominates_per_level_never_exceeds_all() {
+        let g = untagged(&chains::ladder(6, 6));
+        let b_all = auto_wavefront_bound(&g, 2, AnchorStrategy::All);
+        let b_pl = auto_wavefront_bound(&g, 2, AnchorStrategy::PerLevel);
+        let b_ad = auto_wavefront_bound(&g, 2, AnchorStrategy::Adaptive);
+        assert!(b_pl.value <= b_ad.value, "{} > {}", b_pl.value, b_ad.value);
+        assert!(
+            b_ad.value <= b_all.value,
+            "{} > {}",
+            b_ad.value,
+            b_all.value
+        );
+        // Deterministic across thread counts.
+        for threads in [1usize, 2, 4] {
+            let b = auto_wavefront_bound_with(&g, 2, AnchorStrategy::Adaptive, threads);
+            assert_eq!(b.value, b_ad.value);
+            assert_eq!(b.detail, b_ad.detail);
+        }
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Cross-crate property tests: random CDAGs and random schedules must
 //! respect every invariant the theory promises, end to end.
 
+use dmc::cdag::cut::max_min_wavefront;
+use dmc::cdag::engine::WavefrontEngine;
+use dmc::cdag::flow::is_separating_vertex_set;
+use dmc::cdag::reach::{ancestors, descendants};
 use dmc::cdag::topo::{is_valid_topological_order, topological_order};
-use dmc::cdag::Cdag;
+use dmc::cdag::{Cdag, VertexId};
 use dmc::core::bounds::decompose::untag_inputs;
 use dmc::core::bounds::mincut::{auto_wavefront_bound, AnchorStrategy};
 use dmc::core::games::executor::{execute_rbw, EvictionPolicy};
@@ -89,6 +93,33 @@ proptest! {
         for v in g.vertices() {
             prop_assert_eq!(g.is_input(v), g2.is_input(v));
             prop_assert_eq!(g.is_output(v), g2.is_output(v));
+        }
+    }
+
+    /// The parallel wavefront engine agrees with the serial baseline —
+    /// same `w^max`, same winning anchor, and a valid witness cut — on
+    /// random layered DAGs at 1, 2, and 4 worker threads.
+    #[test]
+    fn wavefront_engine_matches_serial_baseline(g in arb_cdag()) {
+        let anchors: Vec<VertexId> = g.vertices().collect();
+        let serial = max_min_wavefront(&g, &anchors).expect("non-empty graph");
+        for threads in [1usize, 2, 4] {
+            let run = WavefrontEngine::new(&g).with_threads(threads).run(&anchors);
+            let best = run.best.expect("non-empty anchor set");
+            prop_assert_eq!(best.size, serial.size, "w^max @ {} threads", threads);
+            prop_assert_eq!(best.anchor, serial.anchor, "anchor @ {} threads", threads);
+            prop_assert!(run.anchors_evaluated <= run.anchors_considered);
+            // The witness cut really separates {x} ∪ Anc(x) from Desc(x).
+            let mut sources = ancestors(&g, best.anchor);
+            sources.insert(best.anchor.index());
+            let sinks = descendants(&g, best.anchor);
+            prop_assert!(
+                is_separating_vertex_set(&g, &sources, &sinks, &best.cut.vertices),
+                "witness cut fails to separate @ {} threads", threads
+            );
+            if !sinks.is_empty() {
+                prop_assert_eq!(best.size, best.cut.vertices.len());
+            }
         }
     }
 
