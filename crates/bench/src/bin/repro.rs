@@ -1,48 +1,114 @@
-//! `repro` — regenerates every table and figure of the paper's evaluation.
+//! `repro` — regenerates every table and figure of the paper's evaluation,
+//! and runs the unified bound-analysis pipeline on arbitrary `.cdag` files.
 //!
 //! Usage:
 //! ```text
-//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|partition|parallel|figures|all]
+//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|analyze|partition|parallel|figures|all]
 //!       [--threads N]
+//! repro analyze <file.cdag> [--sram S] [--threads N] [--format text|json]
 //! ```
 //!
-//! `--threads N` pins the wavefront-engine worker count for the `mincut`
-//! experiment (`0` or omitted = `std::thread::available_parallelism`).
+//! `--threads N` pins the worker count for the wavefront engine and the
+//! pipeline's component fan-out (`0` or omitted =
+//! `std::thread::available_parallelism`). `analyze` without a file prints
+//! the pipeline table over the seed kernels; with a `.cdag` file it
+//! reports the full provenance tree (`--format json` for machine-readable
+//! output).
+
+use dmc_bench::ReportFormat;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!(
         "{msg}; expected one of: table1 sec3 cg gmres \
-         jacobi pebbling mincut partition parallel figures all \
-         (plus optional --threads N)"
+         jacobi pebbling mincut analyze partition parallel figures all \
+         (plus optional --threads N; analyze also takes \
+         <file.cdag> --sram S --format text|json)"
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut threads = 0usize;
-    let mut experiment: Option<String> = None;
+struct Args {
+    experiment: Option<String>,
+    file: Option<String>,
+    threads: Option<usize>,
+    /// `--sram` / `--format` stay `None` unless given explicitly, so the
+    /// dispatcher can reject them for experiments they do not apply to
+    /// instead of silently ignoring them.
+    sram: Option<u64>,
+    format: Option<ReportFormat>,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut parsed = Args {
+        experiment: None,
+        file: None,
+        threads: None,
+        sram: None,
+        format: None,
+    };
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+    };
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a == "--threads" {
-            i += 1;
-            threads = args
-                .get(i)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage_error("--threads needs a non-negative integer"));
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            threads = v
-                .parse()
-                .unwrap_or_else(|_| usage_error("--threads needs a non-negative integer"));
-        } else if experiment.is_none() && !a.starts_with('-') {
-            experiment = Some(a.clone());
-        } else {
-            usage_error(&format!("unknown experiment '{a}'"));
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (a.clone(), None),
+        };
+        match flag.as_str() {
+            "--threads" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--threads"));
+                parsed.threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_error("--threads needs a non-negative integer")),
+                );
+            }
+            "--sram" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--sram"));
+                parsed.sram =
+                    Some(v.parse().ok().filter(|&s| s >= 1).unwrap_or_else(|| {
+                        usage_error("--sram needs a positive integer word count")
+                    }));
+            }
+            "--format" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--format"));
+                parsed.format = Some(match v.as_str() {
+                    "text" => ReportFormat::Text,
+                    "json" => ReportFormat::Json,
+                    _ => usage_error("--format must be 'text' or 'json'"),
+                });
+            }
+            _ if a.starts_with('-') => usage_error(&format!("unknown flag '{a}'")),
+            _ if parsed.experiment.is_none() => parsed.experiment = Some(a.clone()),
+            _ if parsed.experiment.as_deref() == Some("analyze") && parsed.file.is_none() => {
+                parsed.file = Some(a.clone());
+            }
+            _ => usage_error(&format!("unknown experiment '{a}'")),
         }
         i += 1;
     }
-    let arg = experiment.unwrap_or_else(|| "all".to_string());
+    parsed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&args);
+    let arg = args.experiment.unwrap_or_else(|| "all".to_string());
+    // Flags an experiment would silently drop are rejected loudly:
+    // `--sram`/`--format` only shape the file-analysis report, and
+    // `--threads` only drives the mincut/analyze/all stages.
+    if (args.sram.is_some() || args.format.is_some()) && !(arg == "analyze" && args.file.is_some())
+    {
+        usage_error("--sram and --format only apply to 'analyze <file.cdag>'");
+    }
+    if args.threads.is_some() && !matches!(arg.as_str(), "mincut" | "analyze" | "all") {
+        usage_error("--threads only applies to 'mincut', 'analyze', and 'all'");
+    }
+    let threads = args.threads.unwrap_or(0);
     let out = match arg.as_str() {
         "table1" => dmc_bench::table1(),
         "sec3" => dmc_bench::sec3_composite(&[2, 4, 8]),
@@ -51,10 +117,23 @@ fn main() {
         "jacobi" => dmc_bench::jacobi_experiment(),
         "pebbling" | "validate" => dmc_bench::pebbling_experiment(),
         "mincut" => dmc_bench::mincut_experiment_with(threads),
+        "analyze" => match args.file {
+            Some(path) => dmc_bench::analyze_file(
+                &path,
+                args.sram.unwrap_or(4),
+                threads,
+                args.format.unwrap_or(ReportFormat::Text),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }),
+            None => dmc_bench::analyze_experiment_with(threads),
+        },
         "partition" => dmc_bench::partition_experiment(),
         "parallel" => dmc_bench::parallel_experiment(),
         "figures" | "fig1" | "fig2" | "solvers" => dmc_bench::figures(),
-        "all" => dmc_bench::run_all(),
+        "all" => dmc_bench::run_all_with(threads),
         other => usage_error(&format!("unknown experiment '{other}'")),
     };
     print!("{out}");

@@ -358,7 +358,7 @@ pub fn mincut_experiment_with(threads: usize) -> String {
         ("adaptive", AnchorStrategy::Adaptive),
     ] {
         let b = auto_wavefront_bound_with(&g, 4, strat, threads);
-        let _ = writeln!(out, "  {name:<10} {:<6.0} {}", b.value, b.detail);
+        let _ = writeln!(out, "  {name:<10} {:<6.0} {}", b.value, b.provenance.note);
     }
     // Engine scaling: the bound must not vary with the worker count; only
     // the wall clock may.
@@ -383,6 +383,118 @@ pub fn mincut_experiment_with(threads: usize) -> String {
         );
     }
     out
+}
+
+/// Output format of [`analyze_file`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable provenance-tree report.
+    Text,
+    /// Compact JSON (the report's `serde::Serialize` rendering).
+    Json,
+}
+
+/// E13 — the unified bound-analysis pipeline on the seed kernels, with
+/// automatic engine/worker thread count.
+pub fn analyze_experiment() -> String {
+    analyze_experiment_with(0)
+}
+
+/// [`analyze_experiment`] with an explicit thread budget (`0` = auto), as
+/// set by the `repro` binary's `--threads` flag.
+pub fn analyze_experiment_with(threads: usize) -> String {
+    use dmc_cdag::builder::disjoint_union;
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    let s = 4u64;
+    let mut out = String::from("== E13: unified bound-analysis pipeline (Analyzer) ==\n");
+    let _ = writeln!(
+        out,
+        "portfolio = trivial | wavefront (Lemma 2 + Thm 3) | 2S-counting (Lemma 1), S = {s}:"
+    );
+    out.push_str("graph                    |V|    comps  best-single  composed  final   via\n");
+    let graphs: Vec<(&str, dmc_cdag::Cdag)> = vec![
+        ("diamond", chains::diamond()),
+        ("ladder(6,6)", chains::ladder(6, 6)),
+        ("reduction(16)", chains::binary_reduction(16)),
+        ("two_stage(6)", chains::two_stage(6)),
+        ("fft(8)", fft::fft(8)),
+        ("chains(3,4)", chains::independent_chains(3, 4)),
+        (
+            "ladder(8,8)+ladder(7,7)",
+            disjoint_union(&[chains::ladder(8, 8), chains::ladder(7, 7)]),
+        ),
+    ];
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        sram: s,
+        threads,
+        ..AnalyzerConfig::default()
+    });
+    for (name, g) in &graphs {
+        let r = analyzer.analyze(g);
+        let best_single = r
+            .best_whole_graph
+            .as_ref()
+            .expect("baseline on by default")
+            .value;
+        let composed = r
+            .composed
+            .as_ref()
+            .map_or("-".to_string(), |b| format!("{}", b.value));
+        if let Some(c) = &r.composed {
+            assert!(
+                c.value >= best_single,
+                "{name}: Theorem-2 sum {} below whole-graph best {best_single}",
+                c.value
+            );
+        }
+        if name.contains('+') {
+            // The wavefront-rich union: the Theorem-2 sum must *strictly*
+            // beat the best single whole-graph method.
+            assert!(
+                r.bound.value > best_single,
+                "{name}: composed {} does not strictly beat single-method {best_single}",
+                r.bound.value
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name:<24} {:<6} {:<6} {:<12} {composed:<9} {:<7} {}",
+            r.vertices, r.component_count, best_single, r.bound.value, r.bound.method
+        );
+    }
+    out.push_str(
+        "(multi-component graphs: the Theorem-2 composition dominates every\n\
+         single whole-graph method — Section 3's composite point, automated)\n",
+    );
+    out
+}
+
+/// Analyzes a `.cdag` text file end to end with the unified pipeline —
+/// the `repro analyze <file>` backend.
+pub fn analyze_file(
+    path: &str,
+    sram: u64,
+    threads: usize,
+    format: ReportFormat,
+) -> Result<String, String> {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let g = dmc_cdag::textio::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let report = Analyzer::new(AnalyzerConfig {
+        sram,
+        threads,
+        verdicts: true,
+        ..AnalyzerConfig::default()
+    })
+    .analyze(&g);
+    Ok(match format {
+        ReportFormat::Text => format!("== repro analyze {path} ==\n{report}"),
+        ReportFormat::Json => {
+            let mut json = serde::json::to_string(&report);
+            json.push('\n');
+            json
+        }
+    })
 }
 
 /// Partition ablation — Theorem 1 construction vs greedy chunking.
@@ -502,6 +614,12 @@ pub fn figures() -> String {
 
 /// Runs every experiment, concatenated — the full paper reproduction.
 pub fn run_all() -> String {
+    run_all_with(0)
+}
+
+/// [`run_all`] with an explicit thread budget for the stages that take
+/// one (mincut, analyze), as set by `repro all --threads N`.
+pub fn run_all_with(threads: usize) -> String {
     let mut out = String::new();
     out.push_str(&table1());
     out.push('\n');
@@ -515,7 +633,9 @@ pub fn run_all() -> String {
     out.push('\n');
     out.push_str(&pebbling_experiment());
     out.push('\n');
-    out.push_str(&mincut_experiment());
+    out.push_str(&mincut_experiment_with(threads));
+    out.push('\n');
+    out.push_str(&analyze_experiment_with(threads));
     out.push('\n');
     out.push_str(&partition_experiment());
     out.push('\n');

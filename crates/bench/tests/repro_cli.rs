@@ -28,6 +28,7 @@ fn unknown_experiment_exits_with_usage_error() {
         "jacobi",
         "pebbling",
         "mincut",
+        "analyze",
         "partition",
         "parallel",
         "figures",
@@ -75,6 +76,130 @@ fn bad_threads_value_exits_with_usage_error() {
         .output()
         .expect("repro binary runs");
     assert_eq!(out.status.code(), Some(2), "bad --threads must exit 2");
+}
+
+/// Path to a `.cdag` file shipped under the repository's
+/// `examples/graphs/` (two directories up from this crate).
+fn graph_path(name: &str) -> String {
+    format!(
+        "{}/../../examples/graphs/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn analyze_without_file_prints_the_kernel_table() {
+    let out = repro().arg("analyze").output().expect("repro binary runs");
+    assert!(out.status.success(), "analyze must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("unified bound-analysis pipeline"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Theorem-2"), "{stdout}");
+}
+
+#[test]
+fn analyze_reports_provenance_tree_for_shipped_composite() {
+    let out = repro()
+        .args(["analyze", &graph_path("composite.cdag"), "--threads", "2"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "analyze composite.cdag must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("weakly-connected components: 2"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("composed per-component bound (Theorem 2)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("machine-balance verdicts"), "{stdout}");
+}
+
+#[test]
+fn analyze_json_output_is_json_shaped() {
+    let out = repro()
+        .args([
+            "analyze",
+            &graph_path("composite.cdag"),
+            "--threads",
+            "2",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "analyze --format json must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let body = stdout.trim();
+    assert!(body.starts_with('{') && body.ends_with('}'), "{stdout}");
+    for key in ["\"component_count\":2", "\"bound\":", "\"children\":["] {
+        assert!(body.contains(key), "missing {key}: {stdout}");
+    }
+    // Balanced braces/brackets — a cheap structural check that keeps the
+    // emitter honest without a JSON parser in the test.
+    let depth = body.chars().fold(0i64, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0, "unbalanced JSON: {stdout}");
+}
+
+#[test]
+fn analyze_missing_file_exits_with_error() {
+    let out = repro()
+        .args(["analyze", "no-such-file.cdag"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(1), "missing file must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-file.cdag"), "{stderr}");
+}
+
+/// Regression: `--sram`/`--format` used to be parsed and then silently
+/// dropped by every mode except `analyze <file>` — e.g. `analyze
+/// --format json` printed the *text* kernel table with exit 0.
+#[test]
+fn sram_and_format_rejected_where_they_do_not_apply() {
+    for args in [
+        &["analyze", "--format", "json"][..],
+        &["analyze", "--sram", "9"][..],
+        &["table1", "--format", "json"][..],
+        &["mincut", "--sram", "8"][..],
+    ] {
+        let out = repro().args(args).output().expect("repro binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("only apply to 'analyze <file.cdag>'"),
+            "{args:?}: {stderr}"
+        );
+    }
+    // Same rule for --threads on experiments that cannot use it.
+    for args in [
+        &["table1", "--threads", "2"][..],
+        &["figures", "--threads", "2"][..],
+    ] {
+        let out = repro().args(args).output().expect("repro binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--threads only applies to"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn bad_format_value_exits_with_usage_error() {
+    let out = repro()
+        .args(["analyze", "--format", "yaml"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad --format must exit 2");
 }
 
 #[test]

@@ -224,6 +224,35 @@ impl CdagBuilder {
     }
 }
 
+/// The vertex-disjoint union of several CDAGs: vertices of `parts[k]` are
+/// renumbered by the combined offset of the preceding parts, labels and
+/// input/output tags carry over. The canonical way to build a
+/// multi-component composite for the Theorem-2 pipeline.
+pub fn disjoint_union(parts: &[Cdag]) -> Cdag {
+    let total_v: usize = parts.iter().map(Cdag::num_vertices).sum();
+    let total_e: usize = parts.iter().map(Cdag::num_edges).sum();
+    let mut b = CdagBuilder::with_capacity(total_v, total_e);
+    let mut offset = 0u32;
+    for g in parts {
+        for v in g.vertices() {
+            let id = b.add_vertex(g.label(v));
+            debug_assert_eq!(id.0, offset + v.0);
+            if g.is_input(v) {
+                b.tag_input(id);
+            }
+            if g.is_output(v) {
+                b.tag_output(id);
+            }
+        }
+        for (u, v) in g.edges() {
+            b.add_edge(VertexId(offset + u.0), VertexId(offset + v.0));
+        }
+        offset += g.num_vertices() as u32;
+    }
+    b.build()
+        .expect("a union of disjoint DAGs is a DAG with source inputs")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +327,32 @@ mod tests {
         b.dedup_edges(true);
         let g = b.build().unwrap();
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn disjoint_union_offsets_and_tags() {
+        let mut b1 = CdagBuilder::new();
+        let a = b1.add_input("a");
+        let x = b1.add_op("x", &[a]);
+        b1.tag_output(x);
+        let g1 = b1.build().unwrap();
+        let mut b2 = CdagBuilder::new();
+        let p = b2.add_input("p");
+        let q = b2.add_op("q", &[p]);
+        let r = b2.add_op("r", &[p, q]);
+        b2.tag_output(r);
+        let g2 = b2.build().unwrap();
+        let u = disjoint_union(&[g1.clone(), g2]);
+        assert_eq!(u.num_vertices(), 5);
+        assert_eq!(u.num_edges(), 4);
+        assert_eq!(u.num_inputs(), 2);
+        assert_eq!(u.num_outputs(), 2);
+        assert_eq!(u.label(VertexId(2)), "p");
+        assert!(u.has_edge(VertexId(2), VertexId(4)));
+        assert!(u.is_output(VertexId(1)) && u.is_output(VertexId(4)));
+        // Union with a single part is a structural copy.
+        let single = disjoint_union(std::slice::from_ref(&g1));
+        assert_eq!(single.num_edges(), g1.num_edges());
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! * convex cuts and schedule wavefronts ([`cut`]),
 //! * a parallel batched engine for `max_x |W^min(x)|` ([`engine`]),
 //! * minimum dominator-set cardinalities ([`dominator`]),
+//! * weakly-connected components for automatic decomposition
+//!   ([`components`]),
 //! * induced sub-CDAGs and quotient graphs for decomposition ([`subgraph`]),
 //! * Graphviz DOT export ([`dot`]).
 
@@ -38,6 +40,7 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod components;
 pub mod cut;
 pub mod dominator;
 pub mod dot;
@@ -51,6 +54,7 @@ pub mod topo;
 
 pub use bitset::BitSet;
 pub use builder::CdagBuilder;
+pub use components::{weakly_connected_components, Components};
 pub use cut::{ConvexCut, Wavefront};
 pub use engine::{EngineRun, WavefrontEngine};
 pub use graph::{Cdag, VertexId};

@@ -6,6 +6,8 @@
 //! bandwidth-bound (Equation 8 violated), or inconclusive.
 
 use dmc_machine::{BandwidthVerdict, Constraint, MachineSpec};
+use serde::json::Value;
+use serde::Serialize;
 
 /// Per-FLOP data-movement characterization of an algorithm, already
 /// normalized per Equations 9–10: `bound × N_nodes / |V|`.
@@ -49,6 +51,18 @@ impl BalanceReport {
             self.horizontal.to_string(),
             self.horizontal_balance
         )
+    }
+}
+
+impl Serialize for BalanceReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("machine", self.machine.to_json()),
+            ("vertical_balance", self.vertical_balance.to_json()),
+            ("horizontal_balance", self.horizontal_balance.to_json()),
+            ("vertical", self.vertical.to_string().to_json()),
+            ("horizontal", self.horizontal.to_string().to_json()),
+        ])
     }
 }
 

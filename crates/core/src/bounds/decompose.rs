@@ -13,10 +13,11 @@ use dmc_cdag::{BitSet, Cdag};
 /// therefore lower-bounds the whole.
 pub fn decomposition_sum(pieces: &[IoBound]) -> IoBound {
     let total: f64 = pieces.iter().map(|b| b.value).sum();
-    IoBound::new(
+    IoBound::composed(
         total,
         Method::Decomposition,
         format!("Σ of {} sub-CDAG bounds (Theorem 2)", pieces.len()),
+        pieces.to_vec(),
     )
 }
 
@@ -30,13 +31,11 @@ pub fn decompose_cdag(g: &Cdag, assignment: &[usize], num_blocks: usize) -> Vec<
 /// input vertices `dI` and output vertices `dO` (plus their edges), then
 /// `IO(C) + |dI| + |dO| ≤ IO(C')`.
 pub fn io_deletion(inner: &IoBound, d_inputs: usize, d_outputs: usize) -> IoBound {
-    IoBound::new(
+    IoBound::composed(
         inner.value + d_inputs as f64 + d_outputs as f64,
         Method::IoDeletion,
-        format!(
-            "{} + |dI| = {d_inputs} + |dO| = {d_outputs} (Corollary 2)",
-            inner.detail
-        ),
+        format!("inner + |dI| = {d_inputs} + |dO| = {d_outputs} (Corollary 2)"),
+        vec![inner.clone()],
     )
 }
 
@@ -44,13 +43,11 @@ pub fn io_deletion(inner: &IoBound, d_inputs: usize, d_outputs: usize) -> IoBoun
 /// `C' = (I ∪ dI, V, E, O ∪ dO)` transfers to `C = (I, V, E, O)` after
 /// subtracting the tag counts: `IO(C') − |dI| − |dO| ≤ IO(C)`.
 pub fn tagging_transfer(tagged_bound: &IoBound, d_inputs: usize, d_outputs: usize) -> IoBound {
-    IoBound::new(
+    IoBound::composed(
         tagged_bound.value - d_inputs as f64 - d_outputs as f64,
         Method::Tagging,
-        format!(
-            "{} − |dI| = {d_inputs} − |dO| = {d_outputs} (Theorem 3)",
-            tagged_bound.detail
-        ),
+        format!("inner − |dI| = {d_inputs} − |dO| = {d_outputs} (Theorem 3)"),
+        vec![tagged_bound.clone()],
     )
 }
 
@@ -58,10 +55,11 @@ pub fn tagging_transfer(tagged_bound: &IoBound, d_inputs: usize, d_outputs: usiz
 /// tags — so a lower bound on the *less-tagged* CDAG is directly a lower
 /// bound on the more-tagged one.
 pub fn untagging_transfer(untagged_bound: &IoBound) -> IoBound {
-    IoBound::new(
+    IoBound::composed(
         untagged_bound.value,
         Method::Tagging,
-        format!("{} (Theorem 3, untagging)", untagged_bound.detail),
+        "bound on the untagged CDAG carries over (Theorem 3, untagging)",
+        vec![untagged_bound.clone()],
     )
 }
 
@@ -80,13 +78,14 @@ pub fn untag_inputs(g: &Cdag) -> Cdag {
 /// helper performs the bookkeeping given already-computed phase bounds.
 pub fn non_disjoint_sum(phase_bounds: &[IoBound]) -> IoBound {
     let total: f64 = phase_bounds.iter().map(|b| b.value).sum();
-    IoBound::new(
+    IoBound::composed(
         total,
         Method::Decomposition,
         format!(
             "Σ of {} overlapping phase bounds (Theorem 4)",
             phase_bounds.len()
         ),
+        phase_bounds.to_vec(),
     )
 }
 
@@ -146,6 +145,20 @@ mod tests {
                 total.value
             );
         }
+    }
+
+    #[test]
+    fn combinators_record_children() {
+        let pieces = [
+            IoBound::new(3.0, Method::Trivial, "x"),
+            IoBound::new(4.0, Method::Wavefront, "y"),
+        ];
+        let sum = decomposition_sum(&pieces);
+        assert_eq!(sum.provenance.children.len(), 2);
+        assert_eq!(sum.provenance.children[1].method, Method::Wavefront);
+        let transferred = untagging_transfer(&pieces[1]);
+        assert_eq!(transferred.provenance.children.len(), 1);
+        assert_eq!(transferred.provenance.children[0].provenance.note, "y");
     }
 
     #[test]

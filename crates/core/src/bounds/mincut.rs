@@ -268,7 +268,10 @@ mod tests {
                 for threads in [1usize, 2, 4] {
                     let b = auto_wavefront_bound_with(g, 2, strategy, threads);
                     assert_eq!(b.value, expected.0, "{name}/{strategy:?} @ {threads}t");
-                    assert_eq!(b.detail, expected.1, "{name}/{strategy:?} @ {threads}t");
+                    assert_eq!(
+                        b.provenance.note, expected.1,
+                        "{name}/{strategy:?} @ {threads}t"
+                    );
                 }
             }
         }
@@ -291,7 +294,7 @@ mod tests {
         for threads in [1usize, 2, 4] {
             let b = auto_wavefront_bound_with(&g, 2, AnchorStrategy::Adaptive, threads);
             assert_eq!(b.value, b_ad.value);
-            assert_eq!(b.detail, b_ad.detail);
+            assert_eq!(b.provenance.note, b_ad.provenance.note);
         }
     }
 

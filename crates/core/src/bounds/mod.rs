@@ -7,12 +7,21 @@
 //! * the 2S-partition bounds (Lemma 1 / Corollary 1) live in
 //!   [`crate::partition`] next to the partition machinery and are
 //!   re-exported here.
+//!
+//! Every bound carries a structured [`Provenance`]: the composition
+//! combinators record their sub-bounds as children, so a composed bound
+//! is a *derivation tree* — which theorem was applied at each node, with
+//! which parameters — rather than a flat note. [`std::fmt::Display`]
+//! renders the tree; `serde::Serialize` emits it as JSON.
 
 pub mod decompose;
 pub mod mincut;
 pub mod span;
 
 pub use crate::partition::{corollary1_lower_bound, lemma1_lower_bound};
+
+use serde::json::Value;
+use serde::Serialize;
 
 /// Provenance of a bound — which result of the paper produced it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +46,44 @@ pub enum Method {
     Trivial,
 }
 
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Method::HongKung2S => "2S-partition (Lemma 1)",
+            Method::Wavefront => "wavefront (Lemma 2)",
+            Method::Decomposition => "decomposition (Theorem 2)",
+            Method::Tagging => "tagging (Theorem 3)",
+            Method::IoDeletion => "I/O deletion (Corollary 2)",
+            Method::Analytic => "analytic",
+            Method::Vertical => "vertical (Theorems 5-6)",
+            Method::Horizontal => "horizontal (Theorem 7)",
+            Method::Trivial => "trivial",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Serialize for Method {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+/// Structured derivation record of an [`IoBound`].
+///
+/// Leaf bounds (one theorem applied directly to one CDAG) carry only a
+/// parameter `note`; composed bounds (Theorems 2–4, Corollary 2)
+/// additionally record the sub-bounds they were built from as `children`,
+/// turning the bound into a full derivation tree.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    /// Parameter/derivation note for this node, e.g.
+    /// `"2·(w^max − S) with w^max = 7 at anchor v12 (64 anchors)"`.
+    pub note: String,
+    /// Sub-bounds this bound was composed from (empty for leaves).
+    pub children: Vec<IoBound>,
+}
+
 /// A certified I/O bound with provenance.
 #[derive(Debug, Clone)]
 pub struct IoBound {
@@ -44,17 +91,39 @@ pub struct IoBound {
     pub value: f64,
     /// Which result produced it.
     pub method: Method,
-    /// Human-readable derivation note.
-    pub detail: String,
+    /// How it was derived (parameters + sub-bounds).
+    pub provenance: Provenance,
 }
 
 impl IoBound {
-    /// Creates a bound.
-    pub fn new(value: f64, method: Method, detail: impl Into<String>) -> Self {
+    /// Creates a leaf bound (no sub-bounds).
+    pub fn new(value: f64, method: Method, note: impl Into<String>) -> Self {
         IoBound {
             value: value.max(0.0),
             method,
-            detail: detail.into(),
+            provenance: Provenance {
+                note: note.into(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    /// Creates a composed bound recording the sub-bounds it was derived
+    /// from — the provenance-tree constructor used by the Theorem-2/3/4
+    /// combinators in [`decompose`].
+    pub fn composed(
+        value: f64,
+        method: Method,
+        note: impl Into<String>,
+        children: Vec<IoBound>,
+    ) -> Self {
+        IoBound {
+            value: value.max(0.0),
+            method,
+            provenance: Provenance {
+                note: note.into(),
+                children,
+            },
         }
     }
 
@@ -75,13 +144,58 @@ impl IoBound {
             ),
         )
     }
+
+    fn fmt_tree(&self, f: &mut std::fmt::Formatter<'_>, depth: usize) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:indent$}>= {:<8} {} — {}",
+            "",
+            self.value,
+            self.method,
+            self.provenance.note,
+            indent = 2 * depth
+        )?;
+        for child in &self.provenance.children {
+            child.fmt_tree(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders the full derivation tree, one node per line, children indented.
+impl std::fmt::Display for IoBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_tree(f, 0)
+    }
+}
+
+impl Serialize for IoBound {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("value", self.value.to_json()),
+            ("method", self.method.to_json()),
+            ("note", self.provenance.note.to_json()),
+            ("children", self.provenance.children.to_json()),
+        ])
+    }
 }
 
 /// Picks the strongest (largest) of several lower bounds.
+///
+/// Ordering uses [`f64::total_cmp`] with a first-wins tie-break, so the
+/// call is total: a NaN value (possible only via direct struct
+/// construction from a degenerate profile — [`IoBound::new`] sanitizes
+/// NaN to 0) cannot panic the pipeline. Under `total_cmp` NaN orders
+/// above every finite value, which at worst surfaces the degenerate
+/// bound for inspection instead of crashing.
 pub fn best_lower_bound(bounds: impl IntoIterator<Item = IoBound>) -> Option<IoBound> {
-    bounds
-        .into_iter()
-        .max_by(|a, b| a.value.partial_cmp(&b.value).expect("no NaN bounds"))
+    bounds.into_iter().reduce(|best, candidate| {
+        if candidate.value.total_cmp(&best.value).is_gt() {
+            candidate
+        } else {
+            best
+        }
+    })
 }
 
 #[cfg(test)]
@@ -104,6 +218,12 @@ mod tests {
     }
 
     #[test]
+    fn nan_bound_sanitized_by_constructor() {
+        let b = IoBound::new(f64::NAN, Method::Analytic, "0/0 profile");
+        assert_eq!(b.value, 0.0);
+    }
+
+    #[test]
     fn best_picks_max() {
         let best = best_lower_bound([
             IoBound::new(3.0, Method::Trivial, "a"),
@@ -118,5 +238,68 @@ mod tests {
     #[test]
     fn best_of_empty_is_none() {
         assert!(best_lower_bound([]).is_none());
+    }
+
+    #[test]
+    fn best_tie_break_is_first_wins() {
+        let best = best_lower_bound([
+            IoBound::new(5.0, Method::Trivial, "first"),
+            IoBound::new(5.0, Method::Wavefront, "second"),
+        ])
+        .unwrap();
+        assert_eq!(best.method, Method::Trivial);
+    }
+
+    /// Regression: `partial_cmp(..).expect("no NaN bounds")` used to panic
+    /// when a degenerate profile smuggled a NaN in via direct struct
+    /// construction; `total_cmp` keeps the pipeline alive.
+    #[test]
+    fn nan_bound_does_not_panic() {
+        let nan = IoBound {
+            value: f64::NAN,
+            method: Method::Analytic,
+            provenance: Provenance {
+                note: "degenerate".into(),
+                children: Vec::new(),
+            },
+        };
+        let best = best_lower_bound([IoBound::new(3.0, Method::Trivial, "a"), nan]);
+        assert!(best.is_some());
+    }
+
+    #[test]
+    fn display_renders_the_tree() {
+        let child = IoBound::new(4.0, Method::Trivial, "|I| + |O \\ I| = 2 + 2");
+        let b = IoBound::composed(
+            10.0,
+            Method::Decomposition,
+            "Σ of 1 sub-CDAG bounds (Theorem 2)",
+            vec![child],
+        );
+        let text = b.to_string();
+        let mut lines = text.lines();
+        let root = lines.next().unwrap();
+        assert!(root.contains("decomposition (Theorem 2)"), "{root}");
+        let leaf = lines.next().unwrap();
+        assert!(leaf.starts_with("  >= 4"), "{leaf}");
+        assert!(leaf.contains("trivial"), "{leaf}");
+    }
+
+    #[test]
+    fn serialize_emits_nested_json() {
+        let b = IoBound::composed(
+            6.0,
+            Method::Decomposition,
+            "sum",
+            vec![IoBound::new(6.0, Method::Wavefront, "w = 5")],
+        );
+        let json = serde::json::to_string(&b);
+        assert!(json.starts_with('{'), "{json}");
+        assert!(
+            json.contains(r#""method":"decomposition (Theorem 2)""#),
+            "{json}"
+        );
+        assert!(json.contains(r#""children":[{"#), "{json}");
+        assert!(json.contains(r#""note":"w = 5""#), "{json}");
     }
 }

@@ -24,6 +24,9 @@
 //!   and horizontal I/O cost (Theorem 7).
 //! * **Machine-balance analysis** ([`analysis`]): Equations 4–10 — turning
 //!   bounds + machine specs into bandwidth-bound verdicts (Section 5).
+//! * **The unified pipeline** ([`pipeline`]): automatic component
+//!   decomposition, a parallel method portfolio per component, Theorem-2
+//!   composition, and provenance-tree reports for arbitrary CDAGs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +36,8 @@ pub mod bounds;
 pub mod games;
 pub mod parallel;
 pub mod partition;
+pub mod pipeline;
 
-pub use bounds::{IoBound, Method};
+pub use bounds::{IoBound, Method, Provenance};
 pub use games::{GameError, GameTrace, Move};
+pub use pipeline::{AnalysisReport, Analyzer, AnalyzerConfig};

@@ -1,0 +1,696 @@
+//! The unified bound-analysis pipeline.
+//!
+//! Everything the crate knows how to do to a CDAG, wired together and
+//! applied automatically (the by-hand version of this wiring is what
+//! every caller used to repeat):
+//!
+//! 1. find the weakly-connected components
+//!    ([`dmc_cdag::components`]) and extract each as an induced sub-CDAG
+//!    ([`dmc_cdag::subgraph::decompose`]);
+//! 2. run the *method portfolio* on every component — trivial counting,
+//!    Lemma 2 wavefronts on the shared [`WavefrontEngine`] (after a
+//!    Theorem-3 untagging transfer), and the greedy-2S-partition Lemma-1
+//!    relaxation — fanning components out across `std::thread::scope`
+//!    workers with a deterministic merge (bit-identical at any thread
+//!    count);
+//! 3. compose the per-component winners with
+//!    [`decomposition_sum`] (Theorem 2);
+//! 4. compare against the best *single whole-graph* method, which the
+//!    composed bound provably dominates (Section 3's composite point);
+//! 5. optionally normalize the result per FLOP (Equation 9 with one
+//!    node) and ask [`crate::analysis`] for machine-balance verdicts.
+//!
+//! The result is an [`AnalysisReport`] whose bounds carry full
+//! [`Provenance`](crate::bounds::Provenance) trees: every node records
+//! which theorem was applied with which parameters, and composed nodes
+//! hold their sub-bounds as children.
+//!
+//! [`WavefrontEngine`]: dmc_cdag::engine::WavefrontEngine
+//! [`decomposition_sum`]: crate::bounds::decompose::decomposition_sum
+
+use crate::analysis::{analyze, AlgorithmProfile, BalanceReport};
+use crate::bounds::decompose::{decomposition_sum, untag_inputs, untagging_transfer};
+use crate::bounds::mincut::{auto_wavefront_bound_with, AnchorStrategy};
+use crate::bounds::{best_lower_bound, lemma1_lower_bound, IoBound, Method};
+use crate::partition::construct::greedy_partition;
+use dmc_cdag::components::weakly_connected_components;
+use dmc_cdag::subgraph::{self, InducedSubCdag};
+use dmc_cdag::topo::topological_order;
+use dmc_cdag::{Cdag, VertexId};
+use dmc_machine::specs;
+use serde::json::Value;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One member of the analysis method portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortfolioMethod {
+    /// `|I| + |O \ I|` — every input loaded, every pure output stored.
+    Trivial,
+    /// Lemma 2 wavefronts on the untagged CDAG (Theorem-3 transfer), run
+    /// on the parallel batched [`dmc_cdag::engine::WavefrontEngine`].
+    Wavefront,
+    /// Lemma 1 via a counting relaxation of the minimum 2S-partition
+    /// block count, with a greedy 2S-partition as a validity diagnostic.
+    Partition2S,
+}
+
+impl PortfolioMethod {
+    /// The full portfolio, in default (tie-break) priority order.
+    pub fn all() -> Vec<PortfolioMethod> {
+        vec![
+            PortfolioMethod::Trivial,
+            PortfolioMethod::Wavefront,
+            PortfolioMethod::Partition2S,
+        ]
+    }
+}
+
+/// Configuration of an [`Analyzer`].
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Fast-memory capacity `S` in words.
+    pub sram: u64,
+    /// Worker-thread budget for both the component fan-out and the
+    /// wavefront engine (`0` = `std::thread::available_parallelism`).
+    pub threads: usize,
+    /// Methods to run on every (sub-)CDAG.
+    pub methods: Vec<PortfolioMethod>,
+    /// Anchor sampling strategy for the wavefront method.
+    pub anchor_strategy: AnchorStrategy,
+    /// Decompose into weakly-connected components and compose the
+    /// per-component bounds with Theorem 2 (on by default; with it off —
+    /// or on connected graphs — the pipeline analyzes the whole graph
+    /// only).
+    pub decompose: bool,
+    /// When decomposing, also run the portfolio on the *whole* graph as a
+    /// comparison baseline (on by default). With the default portfolio
+    /// the composed bound provably dominates the baseline (wavefronts
+    /// never span components; the trivial bound is additive across
+    /// them), so large multi-component analyses can turn this off to
+    /// skip the duplicated whole-graph wavefront sweep. Caution: that
+    /// dominance argument needs the trivial method in the portfolio —
+    /// the 2S-counting bound alone is *not* additive, and skipping the
+    /// baseline under such a custom portfolio can weaken the final
+    /// bound. The baseline is always computed when there is nothing to
+    /// compose.
+    pub baseline: bool,
+    /// Also report machine-balance verdicts (Equations 7–10) for the
+    /// Table-1 machines, using the final bound normalized per FLOP.
+    pub verdicts: bool,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            sram: 4,
+            threads: 0,
+            methods: PortfolioMethod::all(),
+            anchor_strategy: AnchorStrategy::Adaptive,
+            decompose: true,
+            baseline: true,
+            verdicts: false,
+        }
+    }
+}
+
+/// Per-component slice of an [`AnalysisReport`].
+#[derive(Debug, Clone)]
+pub struct ComponentReport {
+    /// Component index (numbered by lowest parent vertex id).
+    pub index: usize,
+    /// Parent-CDAG id of the component's first vertex (for locating the
+    /// component in the original graph).
+    pub first_vertex: VertexId,
+    /// `|V|` of the component.
+    pub vertices: usize,
+    /// `|E|` of the component.
+    pub edges: usize,
+    /// Every portfolio result, in portfolio order.
+    pub candidates: Vec<IoBound>,
+    /// The strongest candidate (first-wins tie-break).
+    pub best: IoBound,
+}
+
+impl Serialize for ComponentReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("index", self.index.to_json()),
+            ("first_vertex", self.first_vertex.index().to_json()),
+            ("vertices", self.vertices.to_json()),
+            ("edges", self.edges.to_json()),
+            ("candidates", self.candidates.to_json()),
+            ("best", self.best.to_json()),
+        ])
+    }
+}
+
+/// The pipeline's output: a provenance *tree* over the whole analysis,
+/// not a flat number.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// `|V|` of the analyzed CDAG.
+    pub vertices: usize,
+    /// `|E|` of the analyzed CDAG.
+    pub edges: usize,
+    /// `|I|` of the analyzed CDAG.
+    pub inputs: usize,
+    /// `|O|` of the analyzed CDAG.
+    pub outputs: usize,
+    /// The `S` the bounds were computed for.
+    pub sram: u64,
+    /// Number of weakly-connected components.
+    pub component_count: usize,
+    /// Per-component analyses (empty when decomposition was skipped).
+    pub components: Vec<ComponentReport>,
+    /// Every whole-graph portfolio result (the baseline the composed
+    /// bound is compared against; empty when the baseline was skipped via
+    /// [`AnalyzerConfig::baseline`]).
+    pub whole_graph: Vec<IoBound>,
+    /// The strongest single whole-graph method (`None` when the baseline
+    /// was skipped).
+    pub best_whole_graph: Option<IoBound>,
+    /// The Theorem-2 composition of per-component winners (`None` when
+    /// decomposition was skipped or the graph is connected).
+    pub composed: Option<IoBound>,
+    /// The pipeline's final certified lower bound: the composed bound
+    /// when available (it dominates), otherwise the whole-graph best.
+    pub bound: IoBound,
+    /// Machine-balance verdicts (empty unless
+    /// [`AnalyzerConfig::verdicts`]).
+    pub balance: Vec<BalanceReport>,
+}
+
+impl AnalysisReport {
+    /// The final bound normalized per FLOP (Equation 9 with one node):
+    /// `bound / |V − I|`; `None` for input-only CDAGs.
+    pub fn words_per_flop(&self) -> Option<f64> {
+        let work = (self.vertices - self.inputs) as f64;
+        (work > 0.0).then(|| self.bound.value / work)
+    }
+}
+
+impl std::fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "CDAG: |V| = {}, |E| = {}, |I| = {}, |O| = {}, S = {}",
+            self.vertices, self.edges, self.inputs, self.outputs, self.sram
+        )?;
+        writeln!(f, "weakly-connected components: {}", self.component_count)?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "\ncomponent {} (first vertex {}, |V| = {}, |E| = {}):",
+                c.index, c.first_vertex, c.vertices, c.edges
+            )?;
+            for cand in &c.candidates {
+                writeln!(f, "  candidate >= {:<8} {}", cand.value, cand.method)?;
+            }
+            write!(f, "  best:\n{}", indent(&c.best.to_string(), 2))?;
+        }
+        if let Some(best_whole) = &self.best_whole_graph {
+            writeln!(f, "\nwhole-graph baseline (best single method):")?;
+            write!(f, "{}", indent(&best_whole.to_string(), 1))?;
+        }
+        if let Some(composed) = &self.composed {
+            writeln!(f, "\ncomposed per-component bound (Theorem 2):")?;
+            write!(f, "{}", indent(&composed.to_string(), 1))?;
+        }
+        writeln!(f, "\nfinal certified lower bound: >= {}", self.bound.value)?;
+        if let Some(ratio) = self.words_per_flop() {
+            writeln!(f, "normalized (Eq. 9, 1 node): {ratio:.6} words/FLOP")?;
+        }
+        if !self.balance.is_empty() {
+            writeln!(f, "machine-balance verdicts (Table 1):")?;
+            for r in &self.balance {
+                writeln!(f, "  {}", r.row())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn indent(text: &str, levels: usize) -> String {
+    let pad = "  ".repeat(levels);
+    let mut out = String::with_capacity(text.len() + 2 * levels);
+    for line in text.lines() {
+        let _ = writeln!(out, "{pad}{line}");
+    }
+    out
+}
+
+impl Serialize for AnalysisReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("vertices", self.vertices.to_json()),
+            ("edges", self.edges.to_json()),
+            ("inputs", self.inputs.to_json()),
+            ("outputs", self.outputs.to_json()),
+            ("sram", self.sram.to_json()),
+            ("component_count", self.component_count.to_json()),
+            ("components", self.components.to_json()),
+            ("whole_graph", self.whole_graph.to_json()),
+            ("best_whole_graph", self.best_whole_graph.to_json()),
+            (
+                "composed",
+                self.composed
+                    .as_ref()
+                    .map(Serialize::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+            ("bound", self.bound.to_json()),
+            ("words_per_flop", self.words_per_flop().to_json()),
+            ("balance", self.balance.to_json()),
+        ])
+    }
+}
+
+/// The unified analysis pipeline over arbitrary CDAGs.
+///
+/// # Example
+///
+/// ```
+/// use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+///
+/// // Two independent chains: the pipeline finds both components, bounds
+/// // each, and composes with Theorem 2 — 2 words of I/O per chain.
+/// let g = dmc_kernels::chains::independent_chains(2, 3);
+/// let report = Analyzer::new(AnalyzerConfig {
+///     sram: 2,
+///     ..AnalyzerConfig::default()
+/// })
+/// .analyze(&g);
+/// assert_eq!(report.component_count, 2);
+/// assert_eq!(report.bound.value, 4.0);
+/// // The report is deterministic at any thread count.
+/// let one_thread = Analyzer::new(AnalyzerConfig {
+///     sram: 2,
+///     threads: 1,
+///     ..AnalyzerConfig::default()
+/// })
+/// .analyze(&g);
+/// assert_eq!(report.to_string(), one_thread.to_string());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+}
+
+impl Analyzer {
+    /// Builds an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        assert!(config.sram >= 1, "S must be at least 1");
+        assert!(!config.methods.is_empty(), "empty method portfolio");
+        Analyzer { config }
+    }
+
+    /// Analyzer with the default configuration.
+    pub fn with_defaults() -> Self {
+        Analyzer::new(AnalyzerConfig::default())
+    }
+
+    /// The configuration this analyzer runs.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `g`.
+    pub fn analyze(&self, g: &Cdag) -> AnalysisReport {
+        let comps = weakly_connected_components(g);
+        let decomposed = self.config.decompose && comps.count > 1;
+
+        // Whole-graph portfolio: the comparison baseline. Gets the full
+        // thread budget (the engine parallelizes internally). Skippable
+        // when a composed bound will exist (it dominates the baseline),
+        // mandatory otherwise — it is then the only bound source.
+        let whole_graph = if self.config.baseline || !decomposed {
+            self.portfolio(g, self.config.threads)
+        } else {
+            Vec::new()
+        };
+        let best_whole_graph = best_lower_bound(whole_graph.iter().cloned());
+
+        let (components, composed) = if decomposed {
+            let pieces = subgraph::decompose(g, &comps.assignment, comps.count);
+            let components = self.analyze_components(&pieces);
+            let composed = decomposition_sum(
+                &components
+                    .iter()
+                    .map(|c| c.best.clone())
+                    .collect::<Vec<_>>(),
+            );
+            (components, Some(composed))
+        } else {
+            (Vec::new(), None)
+        };
+
+        // The composed bound dominates the baseline (a whole-graph
+        // wavefront anchor never spans components, and the trivial and
+        // counting bounds are additive across them), but `max` with a
+        // composed-first tie-break keeps the final answer correct even
+        // for portfolios where that argument does not apply.
+        let bound = best_lower_bound(
+            composed
+                .iter()
+                .cloned()
+                .chain(best_whole_graph.iter().cloned()),
+        )
+        .expect("composed or whole-graph best always exists");
+
+        let balance = if self.config.verdicts {
+            let work = g.num_compute_vertices() as f64;
+            let profile = AlgorithmProfile {
+                name: "pipeline".to_string(),
+                vertical_lb_per_flop: (work > 0.0).then(|| bound.value / work),
+                vertical_ub_per_flop: None,
+                horizontal_lb_per_flop: None,
+                horizontal_ub_per_flop: None,
+            };
+            specs::table1_machines()
+                .iter()
+                .map(|m| analyze(&profile, m))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        AnalysisReport {
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            inputs: g.num_inputs(),
+            outputs: g.num_outputs(),
+            sram: self.config.sram,
+            component_count: comps.count,
+            components,
+            whole_graph,
+            best_whole_graph,
+            composed,
+            bound,
+            balance,
+        }
+    }
+
+    /// Fans per-component analyses out over scoped workers pulling from a
+    /// shared queue; the merge reassembles results by component index, so
+    /// the report is bit-identical at any thread count.
+    fn analyze_components(&self, pieces: &[InducedSubCdag]) -> Vec<ComponentReport> {
+        let total = self.resolved_threads(usize::MAX);
+        let workers = total.clamp(1, pieces.len());
+        // Split the budget: more threads than components means each
+        // worker's wavefront engine gets a share instead of idling the
+        // surplus. The engine's result is thread-count-invariant, so the
+        // bit-identical-report guarantee is unaffected.
+        let engine_threads = (total / pieces.len()).max(1);
+        if workers <= 1 {
+            return pieces
+                .iter()
+                .enumerate()
+                .map(|(i, p)| self.component_report(i, p, engine_threads))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, ComponentReport)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= pieces.len() {
+                                break;
+                            }
+                            local.push((i, self.component_report(i, &pieces[i], engine_threads)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("component worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn component_report(
+        &self,
+        index: usize,
+        piece: &InducedSubCdag,
+        engine_threads: usize,
+    ) -> ComponentReport {
+        let candidates = self.portfolio(&piece.cdag, engine_threads);
+        let best = best_lower_bound(candidates.iter().cloned())
+            .expect("portfolio is non-empty by construction");
+        ComponentReport {
+            index,
+            first_vertex: piece.parent_of(VertexId(0)),
+            vertices: piece.cdag.num_vertices(),
+            edges: piece.cdag.num_edges(),
+            candidates,
+            best,
+        }
+    }
+
+    /// Runs the configured method portfolio on one CDAG.
+    fn portfolio(&self, g: &Cdag, engine_threads: usize) -> Vec<IoBound> {
+        self.config
+            .methods
+            .iter()
+            .map(|m| match m {
+                PortfolioMethod::Trivial => IoBound::trivial(g),
+                PortfolioMethod::Wavefront => self.wavefront_bound(g, engine_threads),
+                PortfolioMethod::Partition2S => partition2s_bound(g, self.config.sram),
+            })
+            .collect()
+    }
+
+    /// Lemma 2 on the untagged CDAG; when the graph had tagged inputs the
+    /// result is wrapped in the Theorem-3 untagging transfer that makes
+    /// it valid for the tagged graph.
+    fn wavefront_bound(&self, g: &Cdag, engine_threads: usize) -> IoBound {
+        let untagged = untag_inputs(g);
+        let wf = auto_wavefront_bound_with(
+            &untagged,
+            self.config.sram,
+            self.config.anchor_strategy,
+            engine_threads,
+        );
+        if g.num_inputs() > 0 {
+            untagging_transfer(&wf)
+        } else {
+            wf
+        }
+    }
+
+    fn resolved_threads(&self, work_items: usize) -> usize {
+        let t = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        t.clamp(1, work_items.max(1))
+    }
+}
+
+/// Above this size the greedy 2S-partition diagnostic (quadratic in the
+/// worst case) is skipped; the certified counting bound is unaffected.
+const GREEDY_DIAGNOSTIC_LIMIT: usize = 2048;
+
+/// Lemma 1 through a *counting relaxation* of the minimum 2S-partition
+/// block count, decorated with a greedy 2S-partition diagnostic.
+///
+/// Soundness: in any valid 2S-partition (Definition 5) every tagged
+/// output outside `I` lies in exactly one block's `Out` set and every
+/// tagged input with a successor appears in at least one block's `In`
+/// set, while `|In|, |Out| ≤ 2S` per block — so
+/// `h_min ≥ ⌈max(|O∖I|, |I_used|)/2S⌉` and Lemma 1 gives
+/// `Q ≥ S·(h_min − 1)`. The greedy partition's block count *over*-counts
+/// `h_min` and is reported only as a diagnostic, never used as a bound.
+pub fn partition2s_bound(g: &Cdag, s: u64) -> IoBound {
+    assert!(s >= 1, "S must be at least 1");
+    // Saturating: `2 * s` must not wrap for absurd S (that would *shrink*
+    // the divisor and overclaim the certified bound, or divide by zero).
+    let two_s = s.saturating_mul(2);
+    let mut pure_outputs = g.outputs().clone();
+    pure_outputs.difference_with(g.inputs());
+    let used_inputs = g
+        .inputs()
+        .iter()
+        .filter(|&i| g.out_degree(VertexId(i as u32)) > 0)
+        .count();
+    let demand = pure_outputs.len().max(used_inputs);
+    // `h_lb ≤ demand ≤ |V|` fits comfortably in usize.
+    let h_lb = (demand as u64).div_ceil(two_s) as usize;
+    let value = lemma1_lower_bound(s as usize, h_lb) as f64;
+    let mut note = format!(
+        "S·(h_min − 1) with h_min ≥ ⌈max(|O∖I| = {}, |I_used| = {used_inputs})/2S⌉ = {h_lb}",
+        pure_outputs.len()
+    );
+    // The greedy partition cannot place a vertex whose in-degree alone
+    // exceeds 2S; skip the diagnostic when no valid 2S-partition exists
+    // (or the graph is too large for a quadratic diagnostic).
+    let two_s_blocks = usize::try_from(two_s).unwrap_or(usize::MAX);
+    let partitionable = g.num_vertices() <= GREEDY_DIAGNOSTIC_LIMIT
+        && g.vertices()
+            .filter(|&v| !g.is_input(v))
+            .all(|v| g.in_degree(v) <= two_s_blocks);
+    if partitionable {
+        let p = greedy_partition(g, &topological_order(g), two_s_blocks);
+        let _ = write!(
+            note,
+            "; greedy 2S-partition: h = {}, largest block = {} (diagnostic)",
+            p.num_blocks(),
+            p.largest_block()
+        );
+    }
+    IoBound::new(value, Method::HongKung2S, note)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::optimal::{optimal_io, GameKind};
+    use dmc_kernels::chains;
+
+    fn analyzer(sram: u64, threads: usize) -> Analyzer {
+        Analyzer::new(AnalyzerConfig {
+            sram,
+            threads,
+            ..AnalyzerConfig::default()
+        })
+    }
+
+    #[test]
+    fn connected_graph_skips_decomposition() {
+        let g = chains::ladder(4, 4);
+        let r = analyzer(2, 1).analyze(&g);
+        assert_eq!(r.component_count, 1);
+        assert!(r.composed.is_none());
+        assert!(r.components.is_empty());
+        assert_eq!(r.bound.value, r.best_whole_graph.as_ref().unwrap().value);
+    }
+
+    #[test]
+    fn disjoint_chains_compose_exactly() {
+        // 3 chains, optimal I/O 2 each: composed bound is exactly 6.
+        let g = chains::independent_chains(3, 4);
+        let r = analyzer(2, 2).analyze(&g);
+        assert_eq!(r.component_count, 3);
+        assert_eq!(r.components.len(), 3);
+        let composed = r.composed.as_ref().expect("multi-component");
+        assert_eq!(composed.value, 6.0);
+        assert_eq!(composed.provenance.children.len(), 3);
+        assert_eq!(r.bound.value, 6.0);
+        // Sound vs the exact optimum.
+        let opt = optimal_io(&g, 2, GameKind::Rbw).unwrap();
+        assert!(r.bound.value <= opt as f64);
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_thread_counts() {
+        let g = chains::independent_chains(4, 5);
+        let base = analyzer(2, 1).analyze(&g);
+        for threads in [2usize, 4] {
+            let r = analyzer(2, threads).analyze(&g);
+            assert_eq!(r.to_string(), base.to_string(), "@ {threads} threads");
+            assert_eq!(
+                serde::json::to_string(&r),
+                serde::json::to_string(&base),
+                "@ {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_off_is_whole_graph_only() {
+        let g = chains::independent_chains(2, 3);
+        let r = Analyzer::new(AnalyzerConfig {
+            sram: 2,
+            threads: 1,
+            decompose: false,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&g);
+        assert_eq!(r.component_count, 2);
+        assert!(r.composed.is_none());
+        assert_eq!(r.bound.value, r.best_whole_graph.as_ref().unwrap().value);
+    }
+
+    #[test]
+    fn baseline_off_skips_whole_graph_but_keeps_the_bound() {
+        let g = chains::independent_chains(3, 4);
+        let with = analyzer(2, 1).analyze(&g);
+        let without = Analyzer::new(AnalyzerConfig {
+            sram: 2,
+            threads: 1,
+            baseline: false,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&g);
+        assert!(without.whole_graph.is_empty());
+        assert!(without.best_whole_graph.is_none());
+        assert_eq!(without.bound.value, with.bound.value);
+        // On a connected graph the baseline is the only bound source and
+        // must run regardless of the flag.
+        let connected = Analyzer::new(AnalyzerConfig {
+            sram: 2,
+            threads: 1,
+            baseline: false,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&chains::ladder(3, 3));
+        assert!(connected.best_whole_graph.is_some());
+    }
+
+    #[test]
+    fn partition2s_bound_survives_huge_sram() {
+        // Regression: `2 * s` used to wrap for S > u64::MAX/2, shrinking
+        // the divisor (overclaimed bound) or panicking on div-by-zero.
+        let g = chains::binary_reduction(8);
+        for s in [u64::MAX / 2, u64::MAX / 2 + 1, u64::MAX] {
+            let b = partition2s_bound(&g, s);
+            assert_eq!(b.value, 0.0, "S = {s}");
+        }
+    }
+
+    #[test]
+    fn partition2s_bound_is_sound_and_annotated() {
+        let g = chains::binary_reduction(8);
+        let b = partition2s_bound(&g, 2);
+        assert_eq!(b.method, Method::HongKung2S);
+        assert!(b.provenance.note.contains("greedy 2S-partition"));
+        if let Some(opt) = optimal_io(&g, 2, GameKind::Rbw) {
+            assert!(b.value <= opt as f64);
+        }
+    }
+
+    #[test]
+    fn verdicts_populated_on_request() {
+        let g = chains::ladder(3, 3);
+        let r = Analyzer::new(AnalyzerConfig {
+            sram: 2,
+            threads: 1,
+            verdicts: true,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(&g);
+        assert_eq!(r.balance.len(), specs::table1_machines().len());
+        assert!(r.to_string().contains("machine-balance verdicts"));
+    }
+
+    #[test]
+    fn wavefront_candidate_records_theorem3_transfer() {
+        let g = chains::ladder(4, 4);
+        let r = analyzer(1, 1).analyze(&g);
+        let wf = &r.whole_graph[1];
+        assert_eq!(wf.method, Method::Tagging);
+        assert_eq!(wf.provenance.children.len(), 1);
+        assert_eq!(wf.provenance.children[0].method, Method::Wavefront);
+    }
+}

@@ -32,7 +32,7 @@ fn main() {
     let lb = auto_wavefront_bound(&untag_inputs(&g), s_budget, AnchorStrategy::All);
     println!(
         "Lemma-2 lower bound with S = {s_budget}: {} ({})",
-        lb.value, lb.detail
+        lb.value, lb.provenance.note
     );
 
     // 3. Exact optimum by exhaustive search (the graph is tiny).

@@ -1,0 +1,138 @@
+//! End-to-end tests of the unified bound-analysis pipeline: the PR's
+//! acceptance scenario on the shipped composite, Theorem-2 additivity on
+//! disjoint unions, and property tests on random layered DAGs (RBW
+//! sandwich + thread-count invariance).
+
+use dmc::cdag::builder::disjoint_union;
+use dmc::cdag::textio::from_text;
+use dmc::cdag::Cdag;
+use dmc::core::games::optimal::{optimal_io, GameKind};
+use dmc::core::pipeline::{Analyzer, AnalyzerConfig};
+use dmc::kernels::chains;
+use dmc::kernels::random::{random_layered, RandomDagConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn analyzer(sram: u64, threads: usize) -> Analyzer {
+    Analyzer::new(AnalyzerConfig {
+        sram,
+        threads,
+        ..AnalyzerConfig::default()
+    })
+}
+
+fn shipped_composite() -> Cdag {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/graphs/composite.cdag");
+    from_text(&std::fs::read_to_string(path).expect("composite.cdag ships with the repo"))
+        .expect("composite.cdag parses")
+}
+
+/// The PR acceptance scenario: on the shipped two-component composite the
+/// per-component Theorem-2 sum strictly beats the best single whole-graph
+/// method, and the full report is bit-identical at any thread count.
+#[test]
+fn composite_acceptance() {
+    let g = shipped_composite();
+    let base = analyzer(4, 1).analyze(&g);
+    assert_eq!(base.component_count, 2);
+    let composed = base.composed.as_ref().expect("two components");
+    let best_single = base.best_whole_graph.as_ref().expect("baseline on").value;
+    assert!(
+        composed.value > best_single,
+        "Theorem-2 sum {} must strictly beat the single-method best {best_single}",
+        composed.value
+    );
+    assert_eq!(base.bound.value, composed.value);
+    // The provenance tree reaches the per-component Lemma-2 leaves.
+    assert_eq!(composed.provenance.children.len(), 2);
+    for child in &composed.provenance.children {
+        assert!(!child.provenance.children.is_empty(), "leaf-only child");
+    }
+    for threads in [2usize, 4] {
+        let r = analyzer(4, threads).analyze(&g);
+        assert_eq!(r.to_string(), base.to_string(), "@ {threads} threads");
+    }
+}
+
+/// Theorem-2 additivity: analyzing a disjoint union equals summing the
+/// pipeline's per-kernel results.
+#[test]
+fn disjoint_union_is_additive() {
+    let parts = [chains::ladder(6, 6), chains::binary_reduction(8)];
+    let union = disjoint_union(&parts);
+    let report = analyzer(3, 2).analyze(&union);
+    let composed = report.composed.as_ref().expect("two components");
+    let per_piece: f64 = parts
+        .iter()
+        .map(|g| analyzer(3, 1).analyze(g).bound.value)
+        .sum();
+    assert_eq!(composed.value, per_piece);
+    assert_eq!(report.bound.value, per_piece);
+}
+
+fn arb_cdag() -> impl Strategy<Value = Cdag> {
+    (2usize..5, 2usize..6, 0.1f64..0.7, 0u64..1000).prop_map(|(layers, width, p, seed)| {
+        random_layered(RandomDagConfig {
+            layers,
+            width,
+            edge_prob: p,
+            seed,
+        })
+    })
+}
+
+/// Smaller instances for the sandwich test — the exact RBW solver's
+/// state space grows exponentially in `|V|`.
+fn arb_tiny_cdag() -> impl Strategy<Value = Cdag> {
+    (2usize..4, 2usize..4, 0.15f64..0.7, 0u64..1000).prop_map(|(layers, width, p, seed)| {
+        random_layered(RandomDagConfig {
+            layers,
+            width,
+            edge_prob: p,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RBW sandwich: the pipeline's certified bound never exceeds the
+    /// exact RBW optimum.
+    #[test]
+    fn pipeline_bound_below_optimal(g in arb_tiny_cdag(), s_extra in 1usize..5) {
+        let min_s = g.vertices().map(|v| g.in_degree(v) + 1).max().unwrap_or(1);
+        let s = min_s + s_extra;
+        let report = analyzer(s as u64, 1).analyze(&g);
+        if let Some(opt) = optimal_io(&g, s, GameKind::Rbw) {
+            prop_assert!(
+                report.bound.value <= opt as f64,
+                "pipeline {} > optimal {opt}",
+                report.bound.value
+            );
+        }
+    }
+
+    /// The report — text and JSON — is invariant under the thread count.
+    #[test]
+    fn pipeline_invariant_in_threads(g in arb_cdag(), s in 2u64..6) {
+        let base = analyzer(s, 1).analyze(&g);
+        for threads in [2usize, 4] {
+            let r = analyzer(s, threads).analyze(&g);
+            prop_assert_eq!(r.to_string(), base.to_string());
+            prop_assert_eq!(serde::json::to_string(&r), serde::json::to_string(&base));
+        }
+    }
+
+    /// Composing over a union of two random DAGs equals the sum of their
+    /// individual pipeline results.
+    #[test]
+    fn pipeline_additive_on_unions(a in arb_cdag(), b in arb_cdag(), s in 2u64..6) {
+        let union = disjoint_union(&[a.clone(), b.clone()]);
+        let whole = analyzer(s, 2).analyze(&union);
+        let sum = analyzer(s, 1).analyze(&a).bound.value
+            + analyzer(s, 1).analyze(&b).bound.value;
+        let composed = whole.composed.as_ref().expect("disjoint parts");
+        prop_assert_eq!(composed.value, sum);
+    }
+}

@@ -1,0 +1,134 @@
+//! A minimal JSON value model and renderer (the `serde_json` role, folded
+//! into the offline serde stand-in).
+//!
+//! Only what the workspace needs: building values and rendering them as
+//! spec-compliant JSON text. There is deliberately no parser — consumers
+//! of the emitted reports parse them with their own tooling.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values render as `null` (JSON has no
+    /// NaN/Infinity literals).
+    Number(f64),
+    /// A signed integer, rendered exactly (no float round-trip — JSON
+    /// numbers are arbitrary-precision).
+    Int(i64),
+    /// An unsigned integer, rendered exactly.
+    UInt(u64),
+    /// A string (escaped on rendering).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved (keys are not deduplicated
+    /// — callers are expected to supply distinct keys).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Renders any [`crate::Serialize`] type as compact JSON text.
+pub fn to_string<T: crate::Serialize + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(out, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(out, "\\\"")?,
+            '\\' => write!(out, "\\\\")?,
+            '\n' => write!(out, "\\n")?,
+            '\r' => write!(out, "\\r")?,
+            '\t' => write!(out, "\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    write!(out, "\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) if !n.is_finite() => write!(f, "null"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::UInt(n) => write!(f, "{n}"),
+            Value::String(s) => escape_into(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    escape_into(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Number(3.5).to_string(), "3.5");
+        assert_eq!(Value::Number(10.0).to_string(), "10");
+        assert_eq!(Value::Number(f64::NAN).to_string(), "null");
+        assert_eq!(
+            Value::String("a\"b\\c\n".into()).to_string(),
+            r#""a\"b\\c\n""#
+        );
+    }
+
+    #[test]
+    fn integers_render_exactly() {
+        // Above 2^53 an f64 round-trip would corrupt the value.
+        assert_eq!(Value::UInt(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Value::Int(i64::MIN).to_string(), "-9223372036854775808");
+    }
+
+    #[test]
+    fn renders_containers() {
+        let v = Value::object([
+            ("xs", Value::Array(vec![Value::Number(1.0), Value::Null])),
+            ("s", Value::String("hi".into())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"xs":[1,null],"s":"hi"}"#);
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(Value::String("\u{1}".into()).to_string(), "\"\\u0001\"");
+    }
+}

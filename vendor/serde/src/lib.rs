@@ -1,19 +1,100 @@
 //! Offline stand-in for the `serde` facade.
 //!
 //! The build environment has no registry access, so this vendor crate
-//! provides just enough of serde's surface for the workspace to compile:
-//! the two marker traits and (behind the `derive` feature) the no-op
-//! derive macros from the sibling `serde_derive` stub. Nothing in the
-//! workspace performs actual serialization yet; when it does, replace the
-//! `vendor/serde*` crates with the real ones.
+//! provides a pragmatic subset of serde's surface. Unlike the original
+//! marker-only stub, [`Serialize`] is now a *real* trait: implementors
+//! render themselves into the [`json::Value`] data model, which covers
+//! everything the workspace serializes today (the `repro analyze
+//! --format json` reports). The `Deserialize` side remains a marker, and
+//! the derives from the sibling `serde_derive` stub still expand to
+//! nothing — types that want real serialization implement [`Serialize`]
+//! by hand. Swap the `vendor/serde*` crates for the real ones once the
+//! build environment can reach crates.io.
 
 #![warn(missing_docs)]
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub mod json;
+
+/// Serialization into the [`json::Value`] data model.
+///
+/// Offline simplification of serde's `Serialize`: instead of a generic
+/// `Serializer` visitor, implementors produce a concrete JSON value tree
+/// which [`json::to_string`] renders. The derive macro of the `derive`
+/// feature is still a no-op — implement this trait by hand.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> json::Value;
+}
 
 /// Marker stand-in for `serde::Deserialize`.
 pub trait Deserialize<'de>: Sized {}
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Number(*self)
+    }
+}
+
+macro_rules! uint_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+uint_serialize!(u8, u16, u32, u64, usize);
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+int_serialize!(i8, i16, i32, i64, isize);
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (*self).to_json()
+    }
+}
