@@ -1,0 +1,63 @@
+//! E14 — the kernel catalog: prints the registry sweep, then benchmarks
+//! the spec path itself — parse, parse+build, and the full
+//! spec-to-pipeline-report round trip — against calling the hand-wired
+//! builder directly, across a spread of spec-built kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+use dmc_kernels::catalog::Registry;
+use dmc_kernels::grid::Stencil;
+
+const SPECS: &[&str] = &[
+    "jacobi(n=8,d=2,t=4)",
+    "fft(n=64)",
+    "matmul(n=6)",
+    "composite(n=4)",
+    "gmres(n=5,d=1,m=3)",
+    "ladder(w=12,h=12)",
+];
+
+fn bench(c: &mut Criterion) {
+    println!("{}", dmc_bench::catalog_experiment());
+    let registry = Registry::shared();
+    let mut group = c.benchmark_group("catalog");
+    // Spec parsing alone: the string-to-ParamValues layer.
+    group.bench_function("parse/all_specs", |b| {
+        b.iter(|| {
+            SPECS
+                .iter()
+                .map(|s| registry.parse(s).expect("valid").render().len())
+                .sum::<usize>()
+        })
+    });
+    // The catalog overhead on top of the raw builder must be noise: the
+    // same CDAG built through the spec path vs the free function.
+    group.bench_function("build/spec/jacobi", |b| {
+        let spec = registry.parse("jacobi(n=8,d=2,t=4)").expect("valid");
+        b.iter(|| spec.build().num_vertices())
+    });
+    group.bench_function("build/hand_wired/jacobi", |b| {
+        b.iter(|| {
+            dmc_kernels::jacobi::jacobi_cdag(8, 2, 4, Stencil::VonNeumann)
+                .cdag
+                .num_vertices()
+        })
+    });
+    // Full spec-to-report pipeline sweep.
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        sram: 4,
+        threads: 1,
+        ..AnalyzerConfig::default()
+    });
+    for spec_str in SPECS {
+        let spec = registry.parse(spec_str).expect("valid");
+        let label = spec.kernel().name();
+        group.bench_function(format!("analyze_spec/{label}"), |b| {
+            b.iter(|| analyzer.analyze_kernel(&spec).bound.value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

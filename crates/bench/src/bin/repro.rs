@@ -1,28 +1,32 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation,
-//! and runs the unified bound-analysis pipeline on arbitrary `.cdag` files.
+//! and runs the unified bound-analysis pipeline on arbitrary `.cdag` files
+//! or kernel-catalog specs.
 //!
 //! Usage:
 //! ```text
-//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|analyze|partition|parallel|figures|all]
+//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|analyze|catalog|partition|parallel|figures|all]
 //!       [--threads N]
+//! repro list
 //! repro analyze <file.cdag> [--sram S] [--threads N] [--format text|json]
+//! repro analyze --kernel '<spec>' [--sram S] [--threads N] [--format text|json]
 //! ```
 //!
 //! `--threads N` pins the worker count for the wavefront engine and the
 //! pipeline's component fan-out (`0` or omitted =
 //! `std::thread::available_parallelism`). `analyze` without a file prints
-//! the pipeline table over the seed kernels; with a `.cdag` file it
-//! reports the full provenance tree (`--format json` for machine-readable
-//! output).
+//! the pipeline table over the seed kernels; with a `.cdag` file or a
+//! `--kernel` spec (e.g. `jacobi(n=8,d=2,t=4)` — see `repro list` for the
+//! catalog) it reports the full provenance tree (`--format json` for
+//! machine-readable output).
 
 use dmc_bench::ReportFormat;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!(
         "{msg}; expected one of: table1 sec3 cg gmres \
-         jacobi pebbling mincut analyze partition parallel figures all \
+         jacobi pebbling mincut analyze catalog list partition parallel figures all \
          (plus optional --threads N; analyze also takes \
-         <file.cdag> --sram S --format text|json)"
+         <file.cdag> or --kernel '<spec>', --sram S, --format text|json)"
     );
     std::process::exit(2);
 }
@@ -30,6 +34,7 @@ fn usage_error(msg: &str) -> ! {
 struct Args {
     experiment: Option<String>,
     file: Option<String>,
+    kernel: Option<String>,
     threads: Option<usize>,
     /// `--sram` / `--format` stay `None` unless given explicitly, so the
     /// dispatcher can reject them for experiments they do not apply to
@@ -42,6 +47,7 @@ fn parse_args(args: &[String]) -> Args {
     let mut parsed = Args {
         experiment: None,
         file: None,
+        kernel: None,
         threads: None,
         sram: None,
         format: None,
@@ -82,6 +88,10 @@ fn parse_args(args: &[String]) -> Args {
                     _ => usage_error("--format must be 'text' or 'json'"),
                 });
             }
+            "--kernel" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--kernel"));
+                parsed.kernel = Some(v);
+            }
             _ if a.starts_with('-') => usage_error(&format!("unknown flag '{a}'")),
             _ if parsed.experiment.is_none() => parsed.experiment = Some(a.clone()),
             _ if parsed.experiment.as_deref() == Some("analyze") && parsed.file.is_none() => {
@@ -99,14 +109,22 @@ fn main() {
     let args = parse_args(&args);
     let arg = args.experiment.unwrap_or_else(|| "all".to_string());
     // Flags an experiment would silently drop are rejected loudly:
-    // `--sram`/`--format` only shape the file-analysis report, and
-    // `--threads` only drives the mincut/analyze/all stages.
-    if (args.sram.is_some() || args.format.is_some()) && !(arg == "analyze" && args.file.is_some())
-    {
-        usage_error("--sram and --format only apply to 'analyze <file.cdag>'");
+    // `--kernel`/`--sram`/`--format` only shape the analyze report, and
+    // `--threads` only drives the mincut/analyze/catalog/all stages.
+    let analyzing_input = arg == "analyze" && (args.file.is_some() || args.kernel.is_some());
+    if args.kernel.is_some() && arg != "analyze" {
+        usage_error("--kernel only applies to 'analyze'");
     }
-    if args.threads.is_some() && !matches!(arg.as_str(), "mincut" | "analyze" | "all") {
-        usage_error("--threads only applies to 'mincut', 'analyze', and 'all'");
+    if args.kernel.is_some() && args.file.is_some() {
+        usage_error("give either a <file.cdag> or --kernel '<spec>', not both");
+    }
+    if (args.sram.is_some() || args.format.is_some()) && !analyzing_input {
+        usage_error(
+            "--sram and --format only apply to 'analyze <file.cdag>' or 'analyze --kernel'",
+        );
+    }
+    if args.threads.is_some() && !matches!(arg.as_str(), "mincut" | "analyze" | "catalog" | "all") {
+        usage_error("--threads only applies to 'mincut', 'analyze', 'catalog', and 'all'");
     }
     let threads = args.threads.unwrap_or(0);
     let out = match arg.as_str() {
@@ -117,19 +135,26 @@ fn main() {
         "jacobi" => dmc_bench::jacobi_experiment(),
         "pebbling" | "validate" => dmc_bench::pebbling_experiment(),
         "mincut" => dmc_bench::mincut_experiment_with(threads),
-        "analyze" => match args.file {
-            Some(path) => dmc_bench::analyze_file(
-                &path,
-                args.sram.unwrap_or(4),
-                threads,
-                args.format.unwrap_or(ReportFormat::Text),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(1);
-            }),
-            None => dmc_bench::analyze_experiment_with(threads),
-        },
+        "analyze" => {
+            let sram = args.sram.unwrap_or(4);
+            let format = args.format.unwrap_or(ReportFormat::Text);
+            match (&args.kernel, &args.file) {
+                (Some(spec), None) => dmc_bench::analyze_kernel_spec(spec, sram, threads, format)
+                    .unwrap_or_else(|e| {
+                        // Bad specs are usage errors: loud message, exit 2.
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }),
+                (None, Some(path)) => dmc_bench::analyze_file(path, sram, threads, format)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }),
+                _ => dmc_bench::analyze_experiment_with(threads),
+            }
+        }
+        "catalog" => dmc_bench::catalog_experiment_with(threads),
+        "list" => dmc_bench::list_catalog(),
         "partition" => dmc_bench::partition_experiment(),
         "parallel" => dmc_bench::parallel_experiment(),
         "figures" | "fig1" | "fig2" | "solvers" => dmc_bench::figures(),

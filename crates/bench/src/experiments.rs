@@ -2,7 +2,7 @@
 
 use dmc_cdag::cut::min_wavefront;
 use dmc_cdag::topo::topological_order;
-use dmc_core::analysis::{analyze, cg_profile, gmres_profile, jacobi_profile};
+use dmc_core::analysis::analyze;
 use dmc_core::bounds::decompose::untag_inputs;
 use dmc_core::bounds::mincut::{auto_wavefront_bound, AnchorStrategy};
 use dmc_core::bounds::IoBound;
@@ -11,7 +11,9 @@ use dmc_core::games::optimal::{optimal_io, GameKind};
 use dmc_core::parallel::horizontal::ghost_cell_upper_bound;
 use dmc_core::partition::construct::{from_trace, greedy_partition};
 use dmc_core::partition::validate_rbw;
+use dmc_kernels::catalog::Registry;
 use dmc_kernels::grid::Stencil;
+use dmc_kernels::profile::{cg_profile, gmres_profile, jacobi_profile};
 use dmc_kernels::{cg, chains, composite, fft, gmres, jacobi, matmul, outer};
 use dmc_machine::specs;
 use dmc_machine::MemoryHierarchy;
@@ -265,20 +267,28 @@ pub fn jacobi_experiment() -> String {
     out
 }
 
-/// E10 — Validation sandwich: LB ≤ optimal ≤ heuristic on small CDAGs.
+/// E10 — Validation sandwich: LB ≤ optimal ≤ heuristic on small CDAGs,
+/// every graph built from a catalog spec string via the [`Registry`].
 pub fn pebbling_experiment() -> String {
-    let mut out = String::from("== E10: validation sandwich on small CDAGs ==\n");
-    out.push_str("graph              S   LB(wavefront)  optimal(RBW)  LRU   Belady\n");
-    let cases: Vec<(&str, dmc_cdag::Cdag, usize)> = vec![
-        ("chain(8)", chains::chain(8), 2),
-        ("diamond", chains::diamond(), 3),
-        ("reduction(8)", chains::binary_reduction(8), 3),
-        ("ladder(3,3)", chains::ladder(3, 3), 4),
-        ("two_stage(5)", chains::two_stage(5), 7),
-        ("fft(4)", fft::fft(4), 4),
-        ("seq_scan(6)", dmc_kernels::scan::sequential_scan(6), 3),
-        ("sklansky(4)", dmc_kernels::scan::sklansky_scan(4), 4),
-    ];
+    let mut out = String::from("== E10: validation sandwich on small CDAGs (spec-built) ==\n");
+    out.push_str("spec                     S   LB(wavefront)  optimal(RBW)  LRU   Belady\n");
+    let registry = Registry::shared();
+    let cases: Vec<(&str, dmc_cdag::Cdag, usize)> = [
+        ("chain(k=8)", 2),
+        ("diamond", 3),
+        ("reduction(leaves=8)", 3),
+        ("ladder(w=3,h=3)", 4),
+        ("two_stage(m=5)", 7),
+        ("fft(n=4)", 4),
+        ("scan(n=6,kind=seq)", 3),
+        ("scan(n=4,kind=sklansky)", 4),
+    ]
+    .into_iter()
+    .map(|(spec, s)| {
+        let parsed = registry.parse(spec).expect("E10 specs are valid");
+        (spec, parsed.build(), s)
+    })
+    .collect();
     for (name, g, s) in cases {
         // Best of the Lemma-2 wavefront bound (on the untagged CDAG, per
         // Theorem 3) and the trivial |I| + |O| bound.
@@ -290,7 +300,7 @@ pub fn pebbling_experiment() -> String {
         let bel = certified_upper_bound(&g, s, &order, EvictionPolicy::Belady).ok();
         let _ = writeln!(
             out,
-            "{name:<18} {s:<3} {lb:<14.0} {:<13} {:<5} {}",
+            "{name:<24} {s:<3} {lb:<14.0} {:<13} {:<5} {}",
             opt.map_or("-".into(), |v: u64| v.to_string()),
             lru.map_or("-".into(), |v| v.to_string()),
             bel.map_or("-".into(), |v| v.to_string()),
@@ -412,18 +422,27 @@ pub fn analyze_experiment_with(threads: usize) -> String {
         "portfolio = trivial | wavefront (Lemma 2 + Thm 3) | 2S-counting (Lemma 1), S = {s}:"
     );
     out.push_str("graph                    |V|    comps  best-single  composed  final   via\n");
-    let graphs: Vec<(&str, dmc_cdag::Cdag)> = vec![
-        ("diamond", chains::diamond()),
-        ("ladder(6,6)", chains::ladder(6, 6)),
-        ("reduction(16)", chains::binary_reduction(16)),
-        ("two_stage(6)", chains::two_stage(6)),
-        ("fft(8)", fft::fft(8)),
-        ("chains(3,4)", chains::independent_chains(3, 4)),
-        (
-            "ladder(8,8)+ladder(7,7)",
-            disjoint_union(&[chains::ladder(8, 8), chains::ladder(7, 7)]),
-        ),
-    ];
+    // Spec-built rows from the registry plus one hand-built disjoint
+    // union (unions of distinct families are not a single catalog entry).
+    let registry = Registry::shared();
+    let mut graphs: Vec<(String, dmc_cdag::Cdag)> = [
+        "diamond",
+        "ladder(w=6,h=6)",
+        "reduction(leaves=16)",
+        "two_stage(m=6)",
+        "fft(n=8)",
+        "chains(k=3,len=4)",
+    ]
+    .into_iter()
+    .map(|spec| {
+        let parsed = registry.parse(spec).expect("E13 specs are valid");
+        (spec.to_string(), parsed.build())
+    })
+    .collect();
+    graphs.push((
+        "ladder(8,8)+ladder(7,7)".to_string(),
+        disjoint_union(&[chains::ladder(8, 8), chains::ladder(7, 7)]),
+    ));
     let analyzer = Analyzer::new(AnalyzerConfig {
         sram: s,
         threads,
@@ -495,6 +514,94 @@ pub fn analyze_file(
             json
         }
     })
+}
+
+/// The kernel catalog rendered for `repro list`: every registered
+/// family with its spec grammar, parameter ranges, and defaults.
+pub fn list_catalog() -> String {
+    Registry::shared().format_catalog()
+}
+
+/// Analyzes a catalog kernel spec end to end with the unified pipeline —
+/// the `repro analyze --kernel <spec>` backend. A bad spec returns
+/// `Err` with the catalog's loud message (the CLI exits 2 on it, like
+/// every other usage error).
+pub fn analyze_kernel_spec(
+    spec: &str,
+    sram: u64,
+    threads: usize,
+    format: ReportFormat,
+) -> Result<String, String> {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    let report = Analyzer::new(AnalyzerConfig {
+        sram,
+        threads,
+        verdicts: true,
+        ..AnalyzerConfig::default()
+    })
+    .analyze_spec(spec)
+    .map_err(|e| format!("{e}\n(run `repro list` for the catalog)"))?;
+    Ok(match format {
+        ReportFormat::Text => {
+            let canonical = &report.kernel.as_ref().expect("spec-driven report").spec;
+            format!("== repro analyze --kernel {canonical} ==\n{report}")
+        }
+        ReportFormat::Json => {
+            let mut json = serde::json::to_string(&report);
+            json.push('\n');
+            json
+        }
+    })
+}
+
+/// E14 — the full kernel catalog through the pipeline: every registered
+/// family built from its canonical default spec, with the analytic
+/// bound rendered next to the certified pipeline bound.
+pub fn catalog_experiment() -> String {
+    catalog_experiment_with(0)
+}
+
+/// [`catalog_experiment`] with an explicit thread budget (`0` = auto),
+/// as set by the `repro` binary's `--threads` flag.
+pub fn catalog_experiment_with(threads: usize) -> String {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    let s = 4u64;
+    let registry = Registry::shared();
+    let mut out = format!(
+        "== E14: kernel catalog through the pipeline ({} kernels, S = {s}) ==\n",
+        registry.len()
+    );
+    out.push_str(
+        "spec                                     |V|    comps  pipeline-LB  analytic-LB  via\n",
+    );
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        sram: s,
+        threads,
+        ..AnalyzerConfig::default()
+    });
+    for kernel in registry.iter() {
+        // Every registered family must be reachable by name + spec
+        // string — `defaults` goes through the same validation as parse.
+        let spec = registry
+            .defaults(kernel.name())
+            .expect("registered kernels resolve by name");
+        let r = analyzer.analyze_kernel(&spec);
+        let k = r.kernel.as_ref().expect("spec-driven report");
+        let analytic = k
+            .analytic_lower
+            .as_ref()
+            .map_or("-".to_string(), |b| format!("{:.1}", b.value));
+        let _ = writeln!(
+            out,
+            "{:<40} {:<6} {:<6} {:<12} {analytic:<12} {}",
+            k.spec, r.vertices, r.component_count, r.bound.value, r.bound.method
+        );
+    }
+    out.push_str(
+        "(pipeline-LB is the certified RBW bound; analytic-LB is the paper's\n\
+         closed form at the same S — reported side by side, never merged)\n",
+    );
+    out
 }
 
 /// Partition ablation — Theorem 1 construction vs greedy chunking.
@@ -637,6 +744,8 @@ pub fn run_all_with(threads: usize) -> String {
     out.push('\n');
     out.push_str(&analyze_experiment_with(threads));
     out.push('\n');
+    out.push_str(&catalog_experiment_with(threads));
+    out.push('\n');
     out.push_str(&partition_experiment());
     out.push('\n');
     out.push_str(&parallel_experiment());
@@ -703,6 +812,29 @@ mod tests {
             wmaxes.iter().all(|w| w == &wmaxes[0]),
             "w^max varies with thread count: {wmaxes:?}"
         );
+    }
+
+    #[test]
+    fn catalog_experiment_covers_every_registered_kernel() {
+        let t = catalog_experiment_with(1);
+        for name in Registry::shared().names() {
+            assert!(t.contains(name), "{name} missing from catalog table:\n{t}");
+        }
+    }
+
+    #[test]
+    fn list_catalog_prints_ranges_and_defaults() {
+        let t = list_catalog();
+        assert!(t.contains("spec grammar"), "{t}");
+        assert!(t.contains("jacobi("), "{t}");
+        assert!(t.contains("star|box"), "{t}");
+    }
+
+    #[test]
+    fn analyze_kernel_spec_rejects_bad_specs_loudly() {
+        let err = analyze_kernel_spec("warp_drive(n=4)", 4, 1, ReportFormat::Text).unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
+        assert!(err.contains("repro list"), "{err}");
     }
 
     #[test]

@@ -29,6 +29,8 @@ fn unknown_experiment_exits_with_usage_error() {
         "pebbling",
         "mincut",
         "analyze",
+        "catalog",
+        "list",
         "partition",
         "parallel",
         "figures",
@@ -191,6 +193,136 @@ fn sram_and_format_rejected_where_they_do_not_apply() {
             "{args:?}: {stderr}"
         );
     }
+}
+
+#[test]
+fn list_prints_the_kernel_catalog() {
+    let out = repro().arg("list").output().expect("repro binary runs");
+    assert!(out.status.success(), "list must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kernel catalog"), "{stdout}");
+    assert!(stdout.contains("spec grammar"), "{stdout}");
+    // Ranges and defaults for a parameterized and a choice param.
+    assert!(
+        stdout.contains("jacobi(n=8,d=2,t=4,stencil=star)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("star|box"), "{stdout}");
+    assert!(stdout.contains("default"), "{stdout}");
+}
+
+#[test]
+fn catalog_experiment_sweeps_the_registry() {
+    let out = repro()
+        .args(["catalog", "--threads", "2"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "catalog must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("kernel catalog through the pipeline"),
+        "{stdout}"
+    );
+    for spec in ["jacobi(", "fft(", "matmul(", "composite(", "gmres("] {
+        assert!(
+            stdout.contains(spec),
+            "catalog table lists {spec}: {stdout}"
+        );
+    }
+}
+
+/// The `--kernel` + `--format json` round trip: the JSON report carries
+/// the canonical spec, and re-running `repro` with that canonical spec
+/// reproduces the report byte for byte.
+#[test]
+fn analyze_kernel_json_round_trips_through_the_canonical_spec() {
+    let run = |spec: &str| {
+        let out = repro()
+            .args([
+                "analyze",
+                "--kernel",
+                spec,
+                "--threads",
+                "1",
+                "--format",
+                "json",
+            ])
+            .output()
+            .expect("repro binary runs");
+        assert!(
+            out.status.success(),
+            "analyze --kernel '{spec}' must exit 0"
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run("jacobi(n=8,d=2,t=4)");
+    let body = first.trim();
+    assert!(body.starts_with('{') && body.ends_with('}'), "{first}");
+    // The canonical spec (defaults filled in) is embedded in the report.
+    let canonical = "jacobi(n=8,d=2,t=4,stencil=star)";
+    assert!(
+        body.contains(&format!(r#""kernel":{{"spec":"{canonical}""#)),
+        "{first}"
+    );
+    assert!(body.contains(r#""analytic_lower":"#), "{first}");
+    // Balanced braces/brackets — cheap structural JSON check.
+    let depth = body.chars().fold(0i64, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0, "unbalanced JSON: {first}");
+    // Round trip: the canonical spec reproduces the exact same report.
+    assert_eq!(run(canonical), first, "canonical spec must round-trip");
+}
+
+/// Satellite acceptance: a bad spec is a *usage* error — exit code 2 and
+/// a message that names the problem and points at the catalog.
+#[test]
+fn analyze_bad_kernel_spec_exits_2_with_helpful_message() {
+    let cases: &[(&str, &str)] = &[
+        ("jacobbi(n=8)", "unknown kernel 'jacobbi'"),
+        ("jacobi(q=8)", "unknown parameter 'q'"),
+        ("jacobi(d=99)", "out of range"),
+        ("jacobi(stencil=hex)", "star|box"),
+        ("fft(n=12)", "power of two"),
+        ("jacobi(n=8", "missing closing"),
+    ];
+    for (spec, needle) in cases {
+        let out = repro()
+            .args(["analyze", "--kernel", spec])
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(out.status.code(), Some(2), "'{spec}' must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "'{spec}': {stderr}");
+        assert!(
+            stderr.contains("repro list"),
+            "'{spec}' should point at the catalog: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "nothing on stdout for bad specs");
+    }
+}
+
+#[test]
+fn kernel_flag_rejected_outside_analyze_and_with_a_file() {
+    let out = repro()
+        .args(["table1", "--kernel", "fft(n=8)"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--kernel only applies to 'analyze'"),
+        "{stderr}"
+    );
+    let out = repro()
+        .args(["analyze", "some.cdag", "--kernel", "fft(n=8)"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not both"), "{stderr}");
 }
 
 #[test]

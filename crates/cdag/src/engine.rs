@@ -8,7 +8,7 @@
 //! but a useful engine has to get three things right:
 //!
 //! 1. **Arena reuse.** Each worker owns one [`FlowNetwork`] arena plus
-//!    reachability scratch ([`AnchorScratch`]); per-anchor work allocates
+//!    reachability scratch (`AnchorScratch`); per-anchor work allocates
 //!    nothing beyond the witness cut (see [`FlowNetwork::reset`]).
 //! 2. **Deterministic merge.** Workers race on a shared anchor queue, but
 //!    the result is merged by `(cut size, anchor position)` — exactly the

@@ -4,26 +4,17 @@
 //! parameters to decide, per memory level, whether the algorithm is
 //! unavoidably bandwidth-bound (Equation 7 violated), definitely not
 //! bandwidth-bound (Equation 8 violated), or inconclusive.
+//!
+//! The per-algorithm profiles themselves live in
+//! [`dmc_kernels::profile`] and are surfaced per kernel through the
+//! catalog's [`Kernel::profile`](dmc_kernels::catalog::Kernel::profile)
+//! hook; [`AlgorithmProfile`] is re-exported here for compatibility.
 
 use dmc_machine::{BandwidthVerdict, Constraint, MachineSpec};
 use serde::json::Value;
 use serde::Serialize;
 
-/// Per-FLOP data-movement characterization of an algorithm, already
-/// normalized per Equations 9–10: `bound × N_nodes / |V|`.
-#[derive(Debug, Clone)]
-pub struct AlgorithmProfile {
-    /// Algorithm name for reports.
-    pub name: String,
-    /// `LB_vert · N_nodes / |V|` — certified vertical words/FLOP.
-    pub vertical_lb_per_flop: Option<f64>,
-    /// `UB_vert · N_nodes / |V|` — achievable vertical words/FLOP.
-    pub vertical_ub_per_flop: Option<f64>,
-    /// `LB_horiz · N_nodes / |V|` — certified horizontal words/FLOP.
-    pub horizontal_lb_per_flop: Option<f64>,
-    /// `UB_horiz · N_nodes / |V|` — achievable horizontal words/FLOP.
-    pub horizontal_ub_per_flop: Option<f64>,
-}
+pub use dmc_kernels::profile::AlgorithmProfile;
 
 /// The two verdicts of Section 5 for one machine.
 #[derive(Debug, Clone)]
@@ -87,51 +78,37 @@ pub fn analyze(profile: &AlgorithmProfile, machine: &MachineSpec) -> BalanceRepo
     }
 }
 
-/// The paper's CG profile (Section 5.2.3) for a 3-D grid of extent `n` on
-/// `nodes` nodes: vertical LB ratio `6/20 = 0.3`, horizontal UB ratio
-/// `6·nodes^{1/3} / (20·n)`.
+/// The paper's CG profile (Section 5.2.3).
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to dmc_kernels::profile::cg_profile; prefer the catalog's Kernel::profile hook"
+)]
 pub fn cg_profile(n: usize, nodes: usize) -> AlgorithmProfile {
-    AlgorithmProfile {
-        name: format!("CG (3-D, n = {n})"),
-        vertical_lb_per_flop: Some(6.0 / 20.0),
-        vertical_ub_per_flop: None,
-        horizontal_lb_per_flop: None,
-        horizontal_ub_per_flop: Some(6.0 * (nodes as f64).powf(1.0 / 3.0) / (20.0 * n as f64)),
-    }
+    dmc_kernels::profile::cg_profile(n, nodes)
 }
 
-/// The paper's GMRES profile (Section 5.3.3): vertical LB ratio
-/// `6/(m + 20)`, horizontal UB ratio `6·nodes^{1/3}/(n·m)`.
+/// The paper's GMRES profile (Section 5.3.3).
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to dmc_kernels::profile::gmres_profile; prefer the catalog's Kernel::profile hook"
+)]
 pub fn gmres_profile(n: usize, m: usize, nodes: usize) -> AlgorithmProfile {
-    AlgorithmProfile {
-        name: format!("GMRES (3-D, n = {n}, m = {m})"),
-        vertical_lb_per_flop: Some(6.0 / (m as f64 + 20.0)),
-        vertical_ub_per_flop: None,
-        horizontal_lb_per_flop: None,
-        horizontal_ub_per_flop: Some(6.0 * (nodes as f64).powf(1.0 / 3.0) / (n as f64 * m as f64)),
-    }
+    dmc_kernels::profile::gmres_profile(n, m, nodes)
 }
 
-/// The paper's Jacobi profile (Section 5.4.3) for a d-dimensional stencil:
-/// vertical LB ratio `S/U(C, 2S) = 1/(4·(2S)^{1/d})` (tight), horizontal
-/// UB ratio from ghost cells `4·B·T / |V|`-style surface terms — per FLOP
-/// this is `~2d/B` with `B = n/nodes^{1/d}`; we use the per-FLOP form
-/// `2d / (flops_per_point · B)` with `flops_per_point` from the stencil.
+/// The paper's Jacobi profile (Section 5.4.3).
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to dmc_kernels::profile::jacobi_profile; prefer the catalog's Kernel::profile hook"
+)]
 pub fn jacobi_profile(n: usize, d: usize, nodes: usize, s_words: u64) -> AlgorithmProfile {
-    let b = n as f64 / (nodes as f64).powf(1.0 / d as f64);
-    let flops_per_point = (3.0f64).powi(d as i32); // Moore-stencil weights
-    AlgorithmProfile {
-        name: format!("Jacobi ({d}-D, n = {n})"),
-        vertical_lb_per_flop: Some(1.0 / (4.0 * (2.0 * s_words as f64).powf(1.0 / d as f64))),
-        vertical_ub_per_flop: Some(2.0 / (2.0 * s_words as f64).powf(1.0 / d as f64)),
-        horizontal_lb_per_flop: None,
-        horizontal_ub_per_flop: Some(2.0 * d as f64 / (flops_per_point * b)),
-    }
+    dmc_kernels::profile::jacobi_profile(n, d, nodes, s_words)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmc_kernels::profile::{cg_profile, gmres_profile, jacobi_profile};
     use dmc_machine::specs;
 
     #[test]
@@ -176,18 +153,31 @@ mod tests {
     }
 
     #[test]
-    fn jacobi_1d_is_bound_on_bgq() {
-        // d = 1: LB ratio 1/(4·2S) is tiny... but per the paper's general
-        // rule the binding happens at high d. Verify monotonicity: the LB
-        // ratio *rises* with d.
-        let bgq = specs::ibm_bgq();
-        let lb_d1 = jacobi_profile(1000, 1, 2048, bgq.llc_words())
-            .vertical_lb_per_flop
-            .unwrap();
-        let lb_d6 = jacobi_profile(1000, 6, 2048, bgq.llc_words())
-            .vertical_lb_per_flop
-            .unwrap();
-        assert!(lb_d6 > lb_d1);
+    fn deprecated_wrappers_match_the_moved_profiles() {
+        #[allow(deprecated)]
+        let old = super::cg_profile(1000, 2048);
+        let new = cg_profile(1000, 2048);
+        assert_eq!(old.vertical_lb_per_flop, new.vertical_lb_per_flop);
+        assert_eq!(old.horizontal_ub_per_flop, new.horizontal_ub_per_flop);
+    }
+
+    #[test]
+    fn catalog_profile_hook_matches_free_function() {
+        use dmc_kernels::catalog::{ProfileContext, Registry};
+        let registry = Registry::shared();
+        let ctx = ProfileContext {
+            nodes: 2048,
+            sram: specs::ibm_bgq().llc_words(),
+        };
+        let spec = registry.parse("jacobi(n=16,d=3)").expect("valid spec");
+        let hook = spec
+            .kernel()
+            .profile(spec.values(), &ctx)
+            .expect("jacobi has a profile");
+        let free = jacobi_profile(16, 3, 2048, ctx.sram);
+        assert_eq!(hook.vertical_lb_per_flop, free.vertical_lb_per_flop);
+        assert_eq!(hook.vertical_ub_per_flop, free.vertical_ub_per_flop);
+        assert_eq!(hook.horizontal_ub_per_flop, free.horizontal_ub_per_flop);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use dmc_cdag::components::weakly_connected_components;
 use dmc_cdag::subgraph::{self, InducedSubCdag};
 use dmc_cdag::topo::topological_order;
 use dmc_cdag::{Cdag, VertexId};
+use dmc_kernels::catalog::{AnalyticBound, KernelSpec, Registry, SpecError};
 use dmc_machine::specs;
 use serde::json::Value;
 use serde::Serialize;
@@ -146,6 +147,47 @@ impl Serialize for ComponentReport {
     }
 }
 
+/// Catalog context attached to reports produced via
+/// [`Analyzer::analyze_spec`] / [`Analyzer::analyze_kernel`]: the
+/// canonical kernel spec plus the kernel's analytic bounds, rendered
+/// next to the pipeline bounds in both text and JSON.
+///
+/// The analytic lower bound is *reported*, never merged into
+/// [`AnalysisReport::bound`]: the paper's closed forms use asymptotic
+/// constants (e.g. Theorem 9's `n ≫ S` regime) that are not certified
+/// at every finite parameter point the pipeline handles.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Canonical spec string (`KernelSpec::render`).
+    pub spec: String,
+    /// The kernel's closed-form lower bound at the report's `S`.
+    pub analytic_lower: Option<IoBound>,
+    /// The kernel's achievable upper bound at the report's `S` (only
+    /// when the schedule behind the formula is feasible at that `S`).
+    pub analytic_upper: Option<AnalyticBound>,
+    /// The kernel's FLOP-count estimate.
+    pub flops_estimate: Option<f64>,
+}
+
+impl Serialize for KernelReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("spec", self.spec.to_json()),
+            ("analytic_lower", self.analytic_lower.to_json()),
+            (
+                "analytic_upper",
+                self.analytic_upper
+                    .as_ref()
+                    .map(|u| {
+                        Value::object([("value", u.value.to_json()), ("note", u.note.to_json())])
+                    })
+                    .unwrap_or(Value::Null),
+            ),
+            ("flops_estimate", self.flops_estimate.to_json()),
+        ])
+    }
+}
+
 /// The pipeline's output: a provenance *tree* over the whole analysis,
 /// not a flat number.
 #[derive(Debug, Clone)]
@@ -180,6 +222,9 @@ pub struct AnalysisReport {
     /// Machine-balance verdicts (empty unless
     /// [`AnalyzerConfig::verdicts`]).
     pub balance: Vec<BalanceReport>,
+    /// Kernel-catalog context (`None` unless the report came from
+    /// [`Analyzer::analyze_spec`] / [`Analyzer::analyze_kernel`]).
+    pub kernel: Option<KernelReport>,
 }
 
 impl AnalysisReport {
@@ -193,6 +238,9 @@ impl AnalysisReport {
 
 impl std::fmt::Display for AnalysisReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(k) = &self.kernel {
+            writeln!(f, "kernel: {}", k.spec)?;
+        }
         writeln!(
             f,
             "CDAG: |V| = {}, |E| = {}, |I| = {}, |O| = {}, S = {}",
@@ -219,6 +267,20 @@ impl std::fmt::Display for AnalysisReport {
             write!(f, "{}", indent(&composed.to_string(), 1))?;
         }
         writeln!(f, "\nfinal certified lower bound: >= {}", self.bound.value)?;
+        if let Some(k) = &self.kernel {
+            if k.analytic_lower.is_some() || k.analytic_upper.is_some() {
+                writeln!(f, "\nanalytic bounds (kernel catalog, not merged):")?;
+            }
+            if let Some(lower) = &k.analytic_lower {
+                write!(f, "{}", indent(&lower.to_string(), 1))?;
+            }
+            if let Some(upper) = &k.analytic_upper {
+                writeln!(f, "  <= {:<8} achievable — {}", upper.value, upper.note)?;
+            }
+            if let Some(flops) = k.flops_estimate {
+                writeln!(f, "flops estimate: {flops:.0}")?;
+            }
+        }
         if let Some(ratio) = self.words_per_flop() {
             writeln!(f, "normalized (Eq. 9, 1 node): {ratio:.6} words/FLOP")?;
         }
@@ -263,6 +325,7 @@ impl Serialize for AnalysisReport {
             ("bound", self.bound.to_json()),
             ("words_per_flop", self.words_per_flop().to_json()),
             ("balance", self.balance.to_json()),
+            ("kernel", self.kernel.to_json()),
         ])
     }
 }
@@ -389,7 +452,43 @@ impl Analyzer {
             composed,
             bound,
             balance,
+            kernel: None,
         }
+    }
+
+    /// Parses `spec` against the shared kernel [`Registry`], builds the
+    /// CDAG, and runs the pipeline on it. The report carries the
+    /// canonical spec and the kernel's analytic bounds (rendered next to
+    /// the pipeline bounds, never merged into the certified bound).
+    ///
+    /// ```
+    /// use dmc_core::pipeline::Analyzer;
+    ///
+    /// let report = Analyzer::with_defaults()
+    ///     .analyze_spec("chains(k=3,len=4)")
+    ///     .expect("valid spec");
+    /// assert_eq!(report.component_count, 3);
+    /// assert_eq!(report.kernel.unwrap().spec, "chains(k=3,len=4)");
+    /// ```
+    pub fn analyze_spec(&self, spec: &str) -> Result<AnalysisReport, SpecError> {
+        Ok(self.analyze_kernel(&Registry::shared().parse(spec)?))
+    }
+
+    /// Runs the pipeline on an already-parsed catalog spec (see
+    /// [`Analyzer::analyze_spec`]).
+    pub fn analyze_kernel(&self, spec: &KernelSpec<'_>) -> AnalysisReport {
+        let g = spec.build();
+        let mut report = self.analyze(&g);
+        let (kernel, values) = (spec.kernel(), spec.values());
+        report.kernel = Some(KernelReport {
+            spec: spec.render(),
+            analytic_lower: kernel
+                .analytic_lower_bound(values, self.config.sram)
+                .map(|a| IoBound::new(a.value, Method::Analytic, a.note)),
+            analytic_upper: kernel.analytic_upper_bound(values, self.config.sram),
+            flops_estimate: kernel.flops_estimate(values),
+        });
+        report
     }
 
     /// Fans per-component analyses out over scoped workers pulling from a
@@ -682,6 +781,41 @@ mod tests {
         .analyze(&g);
         assert_eq!(r.balance.len(), specs::table1_machines().len());
         assert!(r.to_string().contains("machine-balance verdicts"));
+    }
+
+    #[test]
+    fn analyze_spec_attaches_kernel_context() {
+        let r = analyzer(4, 1)
+            .analyze_spec("jacobi(n=4,d=2,t=3)")
+            .expect("valid spec");
+        let k = r.kernel.as_ref().expect("spec-driven report");
+        assert_eq!(k.spec, "jacobi(n=4,d=2,t=3,stencil=star)");
+        let analytic = k.analytic_lower.as_ref().expect("Theorem 10");
+        assert_eq!(analytic.method, Method::Analytic);
+        assert!(analytic.provenance.note.contains("Theorem 10"));
+        assert!(k.flops_estimate.is_some());
+        let text = r.to_string();
+        assert!(text.starts_with("kernel: jacobi("), "{text}");
+        assert!(text.contains("analytic bounds (kernel catalog"), "{text}");
+        let json = serde::json::to_string(&r);
+        assert!(json.contains(r#""kernel":{"spec":"jacobi("#), "{json}");
+    }
+
+    #[test]
+    fn analyze_spec_matches_plain_analyze_on_the_same_graph() {
+        use dmc_kernels::grid::Stencil;
+        let hand = dmc_kernels::jacobi::jacobi_cdag(4, 1, 3, Stencil::VonNeumann).cdag;
+        let a = analyzer(3, 1);
+        let via_spec = a.analyze_spec("jacobi(n=4,d=1,t=3)").expect("valid");
+        let via_graph = a.analyze(&hand);
+        assert_eq!(via_spec.bound.value, via_graph.bound.value);
+        assert_eq!(via_spec.bound.to_string(), via_graph.bound.to_string());
+    }
+
+    #[test]
+    fn analyze_spec_bad_spec_is_loud() {
+        let err = analyzer(4, 1).analyze_spec("warp_drive(n=4)").unwrap_err();
+        assert!(err.to_string().contains("unknown kernel"), "{err}");
     }
 
     #[test]

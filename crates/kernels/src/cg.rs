@@ -12,7 +12,11 @@
 //!    min-wavefront `n^d`);
 //! 6. `p ← r' + g·p`           — saxpy.
 
+use crate::catalog::{
+    ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues, ProfileContext,
+};
 use crate::grid::{Grid, Stencil};
+use crate::profile::{cg_profile, AlgorithmProfile};
 use crate::vecops::{dot, saxpy};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
@@ -117,6 +121,58 @@ pub fn cg_io_lower_bound(n: usize, d: usize, t: usize, p: usize) -> f64 {
 pub fn cg_io_lower_bound_finite_s(n: usize, d: usize, t: usize, s: u64) -> f64 {
     let nd = (n as f64).powi(d as i32);
     (t as f64) * 2.0 * (3.0 * nd - 2.0 * s as f64)
+}
+
+/// Catalog entry for the CG family: `cg(n,d,t,stencil)` builds
+/// [`cg_cdag`] (the CDAG only — iteration marks stay on the low-level
+/// API) and surfaces the Theorem-8 bound and Section-5.2 profile.
+pub struct CgKernel;
+
+impl Kernel for CgKernel {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn description(&self) -> &'static str {
+        "Conjugate-Gradient iterations on an n^d grid (Theorem 8, Section 5.2)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("n", "grid extent per dimension", 1, 4096, 4),
+            ParamSpec::uint("d", "grid dimensions", 1, 4, 1),
+            ParamSpec::uint("t", "outer iterations", 1, 1024, 1),
+            ParamSpec::choice("stencil", "SpMV operator shape", Stencil::CHOICES, "star"),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let npts = p.uint("n").checked_pow(p.uint("d") as u32);
+        let per_iter = 12 * p.uint("t") + 3;
+        ensure_build_size(npts.and_then(|v| v.checked_mul(per_iter)))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        let stencil = Stencil::from_choice(p.choice("stencil")).expect("validated choice");
+        cg_cdag(p.usize("n"), p.usize("d"), p.usize("t"), stencil).cdag
+    }
+
+    fn analytic_lower_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        let (n, d, t) = (p.usize("n"), p.usize("d"), p.usize("t"));
+        Some(AnalyticBound::new(
+            cg_io_lower_bound_finite_s(n, d, t, s).max(0.0),
+            format!("Theorem 8 (finite S): 2T·(3n^d − 2S) with n = {n}, d = {d}, T = {t}, S = {s}"),
+        ))
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        Some(cg_flops_estimate(p.usize("n"), p.usize("d"), p.usize("t")))
+    }
+
+    fn profile(&self, p: &ParamValues, ctx: &ProfileContext) -> Option<AlgorithmProfile> {
+        Some(cg_profile(p.usize("n"), ctx.nodes))
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Small synthetic CDAG shapes with hand-computable optimal I/O, used to
 //! validate the pebble-game engines and lower-bound machinery.
 
+use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// A simple chain `x_0 → x_1 → … → x_{k-1}` with `x_0` an input and the
@@ -100,6 +101,212 @@ pub fn two_stage(m: usize) -> Cdag {
     let out = b.add_op("g", &stage1);
     b.tag_output(out);
     b.build().expect("two-stage is acyclic")
+}
+
+/// Catalog entry for [`chain`]: `chain(k)`.
+pub struct ChainKernel;
+
+impl Kernel for ChainKernel {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn description(&self) -> &'static str {
+        "single dependence chain of k vertices (optimal I/O = 2)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[ParamSpec::uint("k", "chain length", 1, 1 << 20, 8)];
+        PARAMS
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        chain(p.usize("k"))
+    }
+
+    fn analytic_upper_bound(&self, _p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        (s >= 2).then(|| AnalyticBound::new(2.0, "load the input, store the output (S >= 2)"))
+    }
+}
+
+/// Catalog entry for [`diamond`]: `diamond` (no parameters).
+pub struct DiamondKernel;
+
+impl Kernel for DiamondKernel {
+    fn name(&self) -> &'static str {
+        "diamond"
+    }
+
+    fn description(&self) -> &'static str {
+        "the 4-vertex diamond a -> {b,c} -> d"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        &[]
+    }
+
+    fn build(&self, _p: &ParamValues) -> Cdag {
+        diamond()
+    }
+
+    fn analytic_upper_bound(&self, _p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        (s >= 3).then(|| AnalyticBound::new(2.0, "load a, store d (S >= 3)"))
+    }
+}
+
+/// Catalog entry for [`binary_reduction`]: `reduction(leaves)`.
+pub struct ReductionKernel;
+
+impl Kernel for ReductionKernel {
+    fn name(&self) -> &'static str {
+        "reduction"
+    }
+
+    fn description(&self) -> &'static str {
+        "complete binary reduction tree over `leaves` inputs"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[ParamSpec::uint(
+            "leaves",
+            "input count (power of two)",
+            1,
+            1 << 20,
+            16,
+        )];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let leaves = p.uint("leaves");
+        if leaves.is_power_of_two() {
+            Ok(())
+        } else {
+            Err(format!("leaves = {leaves} must be a power of two"))
+        }
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        binary_reduction(p.usize("leaves"))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        // Depth-first left-to-right holds at most one partial per level.
+        let leaves = p.uint("leaves");
+        let depth = leaves.trailing_zeros() as u64;
+        (s >= depth + 2).then(|| {
+            AnalyticBound::new(
+                (leaves + 1) as f64,
+                format!("depth-first sweep: {leaves} loads + 1 store (needs S >= depth + 2)"),
+            )
+        })
+    }
+}
+
+/// Catalog entry for [`independent_chains`]: `chains(k,len)`.
+pub struct IndependentChainsKernel;
+
+impl Kernel for IndependentChainsKernel {
+    fn name(&self) -> &'static str {
+        "chains"
+    }
+
+    fn description(&self) -> &'static str {
+        "k independent chains of length len (Theorem-2 decomposition is exact)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("k", "number of chains", 1, 4096, 3),
+            ParamSpec::uint("len", "length of each chain", 1, 4096, 4),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        ensure_build_size(p.uint("k").checked_mul(p.uint("len")))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        independent_chains(p.usize("k"), p.usize("len"))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        let k = p.uint("k");
+        (s >= 2).then(|| AnalyticBound::new((2 * k) as f64, format!("2 I/Os per chain, k = {k}")))
+    }
+}
+
+/// Catalog entry for [`ladder`]: `ladder(w,h)`.
+pub struct LadderKernel;
+
+impl Kernel for LadderKernel {
+    fn name(&self) -> &'static str {
+        "ladder"
+    }
+
+    fn description(&self) -> &'static str {
+        "w x h dependence ladder (the classic diamond DAG)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("w", "ladder width", 1, 4096, 6),
+            ParamSpec::uint("h", "ladder height", 1, 4096, 6),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        ensure_build_size(p.uint("w").checked_mul(p.uint("h")))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        ladder(p.usize("w"), p.usize("h"))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        // Row-major sweep keeps the previous row's live suffix resident.
+        let w = p.uint("w");
+        (s >= w + 2).then(|| {
+            AnalyticBound::new(
+                2.0,
+                format!("row sweep with one row resident (needs S >= w + 2, w = {w})"),
+            )
+        })
+    }
+}
+
+/// Catalog entry for [`two_stage`]: `two_stage(m)`.
+pub struct TwoStageKernel;
+
+impl Kernel for TwoStageKernel {
+    fn name(&self) -> &'static str {
+        "two_stage"
+    }
+
+    fn description(&self) -> &'static str {
+        "shared-value two-stage graph (why Hong-Kung sub-DAG bounds cannot be added)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[ParamSpec::uint("m", "stage-1 fan-out", 1, 1 << 20, 5)];
+        PARAMS
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        two_stage(p.usize("m"))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        let m = p.uint("m");
+        (s > m).then(|| {
+            AnalyticBound::new(
+                2.0,
+                format!("load x, hold all {m} stage-1 values, store g (needs S >= m + 1)"),
+            )
+        })
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! showed its I/O complexity is `Θ(n·log n / log S)`; the paper's related
 //! work (Ranjan–Savage–Zubair) sharpens the constants.
 
+use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds the `n`-point FFT butterfly CDAG (`n` must be a power of two).
@@ -37,6 +38,59 @@ pub fn fft_io_lower_bound(n: usize, s: u64) -> f64 {
     assert!(s >= 2);
     let n_f = n as f64;
     n_f * n_f.log2() / (2.0 * (s as f64).log2())
+}
+
+/// Catalog entry for the FFT butterfly family: `fft(n)` builds [`fft`]
+/// and surfaces the Hong–Kung-style `n·log n / (2·log S)` bound.
+pub struct FftKernel;
+
+impl Kernel for FftKernel {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn description(&self) -> &'static str {
+        "n-point FFT butterfly network (Hong-Kung n·log n/log S family)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[ParamSpec::uint(
+            "n",
+            "transform size (power of two)",
+            2,
+            1 << 20,
+            16,
+        )];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let n = p.uint("n");
+        if n.is_power_of_two() {
+            Ok(())
+        } else {
+            Err(format!("n = {n} must be a power of two"))
+        }
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        fft(p.usize("n"))
+    }
+
+    fn analytic_lower_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        (s >= 2).then(|| {
+            let n = p.usize("n");
+            AnalyticBound::new(
+                fft_io_lower_bound(n, s),
+                format!("Hong-Kung: n·log2(n)/(2·log2(S)) with n = {n}, S = {s}"),
+            )
+        })
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        let n = p.uint("n") as f64;
+        Some(n * n.log2())
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@
 //! (reduction over `w` and `v_i`, both of which have disjoint paths into
 //! the saxpy of step 3).
 
+use crate::catalog::{
+    ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues, ProfileContext,
+};
 use crate::grid::{Grid, Stencil};
+use crate::profile::{gmres_profile, AlgorithmProfile};
 use crate::vecops::{dot, scale};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
@@ -111,6 +115,67 @@ pub fn gmres_flops_estimate(n: usize, d: usize, m: usize) -> f64 {
 /// `LB·N_nodes/|V| = 6/(m + 20)`.
 pub fn gmres_vertical_ratio(m: usize) -> f64 {
     6.0 / (m as f64 + 20.0)
+}
+
+/// Catalog entry for the GMRES family: `gmres(n,d,m,stencil)` builds
+/// [`gmres_cdag`] and surfaces the Theorem-9 bound and Section-5.3
+/// profile.
+pub struct GmresKernel;
+
+impl Kernel for GmresKernel {
+    fn name(&self) -> &'static str {
+        "gmres"
+    }
+
+    fn description(&self) -> &'static str {
+        "GMRES with modified Gram-Schmidt on an n^d grid (Theorem 9, Section 5.3)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("n", "grid extent per dimension", 1, 4096, 5),
+            ParamSpec::uint("d", "grid dimensions", 1, 4, 1),
+            ParamSpec::uint("m", "Krylov dimension (outer iterations)", 1, 512, 2),
+            ParamSpec::choice("stencil", "SpMV operator shape", Stencil::CHOICES, "star"),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let npts = p.uint("n").checked_pow(p.uint("d") as u32);
+        // Iteration i adds ~ (3i + 6) n^d vertices (MGS is quadratic in m).
+        let m = p.uint("m");
+        let per_grid_point = m
+            .checked_mul(m + 1)
+            .and_then(|mm| mm.checked_mul(3))
+            .and_then(|v| v.checked_add(6 * m + 1));
+        ensure_build_size(npts.and_then(|v| per_grid_point.and_then(|p| v.checked_mul(p))))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        let stencil = Stencil::from_choice(p.choice("stencil")).expect("validated choice");
+        gmres_cdag(p.usize("n"), p.usize("d"), p.usize("m"), stencil).cdag
+    }
+
+    fn analytic_lower_bound(&self, p: &ParamValues, _s: u64) -> Option<AnalyticBound> {
+        let (n, d, m) = (p.usize("n"), p.usize("d"), p.usize("m"));
+        Some(AnalyticBound::new(
+            gmres_io_lower_bound(n, d, m, 1),
+            format!("Theorem 9 (asymptotic, n >> S): 6·n^d·m with n = {n}, d = {d}, m = {m}"),
+        ))
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        Some(gmres_flops_estimate(
+            p.usize("n"),
+            p.usize("d"),
+            p.usize("m"),
+        ))
+    }
+
+    fn profile(&self, p: &ParamValues, ctx: &ProfileContext) -> Option<AlgorithmProfile> {
+        Some(gmres_profile(p.usize("n"), p.usize("m"), ctx.nodes))
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,31 @@ pub enum Stencil {
     Moore,
 }
 
+impl Stencil {
+    /// The spec-string spellings accepted by the kernel catalog
+    /// (`crate::catalog`): `star` = [`Stencil::VonNeumann`], `box` =
+    /// [`Stencil::Moore`].
+    pub const CHOICES: &'static [&'static str] = &["star", "box"];
+
+    /// Parses a catalog choice name.
+    pub fn from_choice(name: &str) -> Option<Stencil> {
+        match name {
+            "star" => Some(Stencil::VonNeumann),
+            "box" => Some(Stencil::Moore),
+            _ => None,
+        }
+    }
+
+    /// Number of stencil points including the center: `2d + 1` for the
+    /// star (Von Neumann) shape, `3^d` for the box (Moore) shape.
+    pub fn points(self, d: usize) -> usize {
+        match self {
+            Stencil::VonNeumann => 2 * d + 1,
+            Stencil::Moore => 3usize.pow(d as u32),
+        }
+    }
+}
+
 impl Grid {
     /// Creates an `n^d` grid.
     pub fn new(n: usize, d: usize) -> Self {

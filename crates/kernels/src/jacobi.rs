@@ -5,7 +5,11 @@
 //! stencil and generalizes to `d` dimensions:
 //! `Q ≥ n^d·T / (4·P·(2S)^{1/d})`.
 
+use crate::catalog::{
+    ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues, ProfileContext,
+};
 use crate::grid::{Grid, Stencil};
+use crate::profile::{jacobi_profile, AlgorithmProfile};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// A Jacobi CDAG with its geometry.
@@ -32,10 +36,7 @@ pub fn jacobi_cdag(n: usize, d: usize, t: usize, stencil: Stencil) -> JacobiCdag
     assert!(t >= 1);
     let grid = Grid::new(n, d);
     let npts = grid.len();
-    let stencil_pts = match stencil {
-        Stencil::VonNeumann => 2 * d + 1,
-        Stencil::Moore => 3usize.pow(d as u32),
-    };
+    let stencil_pts = stencil.points(d);
     let mut b = CdagBuilder::with_capacity((t + 1) * npts, t * npts * stencil_pts);
     let mut ids: Vec<Vec<VertexId>> = Vec::with_capacity(t + 1);
     ids.push((0..npts).map(|i| b.add_input(format!("u0_{i}"))).collect());
@@ -112,6 +113,62 @@ pub fn jacobi_max_unbound_dimension(beta: f64, s: u64) -> f64 {
 /// benches can report both values side by side.
 pub fn jacobi_paper_printed_dimension(s: u64) -> f64 {
     0.21 * (2.0 * s as f64).log2()
+}
+
+/// Catalog entry for the Jacobi family: `jacobi(n,d,t,stencil)` builds
+/// [`jacobi_cdag`] and surfaces the Theorem-10 bound and the Section-5.4
+/// profile.
+pub struct JacobiKernel;
+
+impl Kernel for JacobiKernel {
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+
+    fn description(&self) -> &'static str {
+        "d-dimensional Jacobi stencil sweeps (Theorem 10, Section 5.4)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("n", "grid extent per dimension", 1, 4096, 8),
+            ParamSpec::uint("d", "grid dimensions", 1, 6, 2),
+            ParamSpec::uint("t", "computed time steps", 1, 4096, 4),
+            ParamSpec::choice("stencil", "neighbourhood shape", Stencil::CHOICES, "star"),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let npts = p.uint("n").checked_pow(p.uint("d") as u32);
+        ensure_build_size(npts.and_then(|v| v.checked_mul(p.uint("t") + 1)))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        let stencil = Stencil::from_choice(p.choice("stencil")).expect("validated choice");
+        jacobi_cdag(p.usize("n"), p.usize("d"), p.usize("t"), stencil).cdag
+    }
+
+    fn analytic_lower_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        let (n, d, t) = (p.usize("n"), p.usize("d"), p.usize("t"));
+        Some(AnalyticBound::new(
+            jacobi_io_lower_bound(n, d, t, 1, s),
+            format!("Theorem 10: n^d·T/(4·(2S)^(1/d)) with n = {n}, d = {d}, T = {t}, S = {s}"),
+        ))
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        Some((p.uint("n") as f64).powi(p.uint("d") as i32) * p.uint("t") as f64)
+    }
+
+    fn profile(&self, p: &ParamValues, ctx: &ProfileContext) -> Option<AlgorithmProfile> {
+        Some(jacobi_profile(
+            p.usize("n"),
+            p.usize("d"),
+            ctx.nodes,
+            ctx.sram,
+        ))
+    }
 }
 
 #[cfg(test)]

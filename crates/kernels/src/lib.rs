@@ -20,10 +20,16 @@
 //! * [`fft`] — FFT butterfly networks;
 //! * [`pyramid`] — r-pyramid graphs (Ranjan–Savage–Zubair family);
 //! * [`random`] — random layered DAGs for property-based testing.
+//!
+//! Every family is also registered in the [`catalog`] — a [`catalog::Kernel`]
+//! trait with declared parameters and a [`catalog::Registry`] that parses
+//! spec strings like `jacobi(n=32,d=2,t=8,stencil=star)` — and the paper's
+//! Section-5 per-FLOP profiles live in [`profile`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod catalog;
 pub mod cg;
 pub mod chains;
 pub mod composite;
@@ -33,6 +39,7 @@ pub mod grid;
 pub mod jacobi;
 pub mod matmul;
 pub mod outer;
+pub mod profile;
 pub mod pyramid;
 pub mod random;
 pub mod scan;

@@ -5,6 +5,7 @@
 //! `N³/(2√(2S))` under the 2S-partition argument (Section 3 of the paper
 //! cites `N³/2√(2S)`; see also Irony–Toledo–Tiskin).
 
+use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
 use crate::vecops::reduce_tree;
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
@@ -67,6 +68,60 @@ pub fn matmul_chain_accumulate(n: usize) -> Cdag {
 pub fn matmul_io_lower_bound(n: usize, s: u64) -> f64 {
     let n = n as f64;
     n * n * n / (2.0 * (2.0 * s as f64).sqrt())
+}
+
+/// Catalog entry for dense matmul: `matmul(n,accumulate)` builds
+/// [`matmul`] (balanced-tree accumulation) or
+/// [`matmul_chain_accumulate`], and surfaces the `N³/(2√(2S))` bound.
+pub struct MatmulKernel;
+
+impl Kernel for MatmulKernel {
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn description(&self) -> &'static str {
+        "dense n x n matrix multiplication (Hong-Kung N^3/(2*sqrt(2S)) example)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("n", "matrix extent", 1, 256, 6),
+            ParamSpec::choice(
+                "accumulate",
+                "inner-product accumulation shape",
+                &["tree", "chain"],
+                "tree",
+            ),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let n = p.uint("n");
+        ensure_build_size(n.checked_pow(3).and_then(|v| v.checked_mul(2)))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        match p.choice("accumulate") {
+            "chain" => matmul_chain_accumulate(p.usize("n")),
+            _ => matmul(p.usize("n")),
+        }
+    }
+
+    fn analytic_lower_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        let n = p.usize("n");
+        Some(AnalyticBound::new(
+            matmul_io_lower_bound(n, s),
+            format!("Hong-Kung/Irony et al.: n^3/(2·sqrt(2S)) with n = {n}, S = {s}"),
+        ))
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        // n^3 multiplies + n^2(n-1) adds.
+        let n = p.uint("n") as f64;
+        Some(2.0 * n * n * n - n * n)
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! `A` costs `2N` loads + `N²` stores, *independent of S*, because every
 //! result element is used exactly once.
 
+use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds the CDAG of `A = p·qᵀ` for vectors of length `n`:
@@ -27,6 +28,60 @@ pub fn outer_product(n: usize) -> Cdag {
 /// (Section 3 of the paper: "total I/O of 2N + N², independent of S").
 pub fn outer_product_exact_io(n: usize) -> u64 {
     2 * n as u64 + (n as u64) * (n as u64)
+}
+
+/// Catalog entry for the outer product: `outer(n)` builds
+/// [`outer_product`]; its I/O is exactly `2N + N²` independent of `S`
+/// (the Section-3 capacity-independence example).
+pub struct OuterProductKernel;
+
+impl Kernel for OuterProductKernel {
+    fn name(&self) -> &'static str {
+        "outer"
+    }
+
+    fn description(&self) -> &'static str {
+        "vector outer product A = p·q^T (2N + N^2 I/O, independent of S)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[ParamSpec::uint("n", "input vector length", 1, 2048, 8)];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let n = p.uint("n");
+        ensure_build_size(n.checked_mul(n).and_then(|v| v.checked_add(2 * n)))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        outer_product(p.usize("n"))
+    }
+
+    fn analytic_lower_bound(&self, p: &ParamValues, _s: u64) -> Option<AnalyticBound> {
+        let n = p.usize("n");
+        Some(AnalyticBound::new(
+            outer_product_exact_io(n) as f64,
+            format!("Section 3 (exact): 2N loads + N^2 stores with N = {n}"),
+        ))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        // Achieved by keeping one full input vector resident: row-major
+        // sweep holds p_i, all of q, and the current result.
+        let n = p.uint("n");
+        (s >= n + 2).then(|| {
+            AnalyticBound::new(
+                outer_product_exact_io(p.usize("n")) as f64,
+                format!("row sweep with q resident (needs S >= N + 2, N = {n}, S = {s})"),
+            )
+        })
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        let n = p.uint("n") as f64;
+        Some(n * n)
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! `(k−1, i)` and `(k−1, i+1)`. The r-pyramid generalizes to `r`
 //! predecessors per vertex.
 
+use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds an `r`-pyramid of height `h`: level `k` has `r·(h−k) + 1`
@@ -35,6 +36,66 @@ pub fn pyramid(r: usize, h: usize) -> Cdag {
 /// conservative constant `r·h²/(8·s)` suitable for bound sandwiches.
 pub fn pyramid_io_lower_bound(r: usize, h: usize, s: u64) -> f64 {
     (r as f64) * (h as f64) * (h as f64) / (8.0 * s as f64)
+}
+
+/// Catalog entry for the r-pyramid family: `pyramid(r,h)` builds
+/// [`pyramid`] and surfaces the Ranjan–Savage–Zubair-style bound.
+pub struct PyramidKernel;
+
+impl Kernel for PyramidKernel {
+    fn name(&self) -> &'static str {
+        "pyramid"
+    }
+
+    fn description(&self) -> &'static str {
+        "r-pyramid reduction of height h (Ranjan-Savage-Zubair family)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("r", "predecessors per vertex", 1, 16, 2),
+            ParamSpec::uint("h", "pyramid height", 1, 4096, 8),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let (r, h) = (p.uint("r"), p.uint("h"));
+        // Levels 0..=h of width r(h-k)+1: ~ (h+1)(rh/2 + 1) vertices.
+        let approx = r
+            .checked_mul(h)
+            .and_then(|rh| rh.checked_add(2))
+            .and_then(|base| base.checked_mul(h + 1));
+        ensure_build_size(approx)
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        pyramid(p.usize("r"), p.usize("h"))
+    }
+
+    fn analytic_lower_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        let (r, h) = (p.usize("r"), p.usize("h"));
+        Some(AnalyticBound::new(
+            pyramid_io_lower_bound(r, h, s),
+            format!("Ranjan-Savage-Zubair style: r·h^2/(8S) with r = {r}, h = {h}, S = {s}"),
+        ))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        // Level-by-level left-to-right with the live window resident:
+        // load the r·h + 1 base values once, store the apex.
+        let (r, h) = (p.uint("r"), p.uint("h"));
+        let base = r * h + 1;
+        (s > base).then(|| {
+            AnalyticBound::new(
+                (base + 1) as f64,
+                format!(
+                    "level sweep with base resident (needs S >= {}, S = {s})",
+                    base + 1
+                ),
+            )
+        })
+    }
 }
 
 #[cfg(test)]

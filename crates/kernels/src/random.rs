@@ -1,5 +1,6 @@
 //! Random layered DAG generation for fuzzing and property tests.
 
+use crate::catalog::{ensure_build_size, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +66,44 @@ pub fn random_layered(cfg: RandomDagConfig) -> Cdag {
         }
     }
     b.build().expect("layered graph is acyclic")
+}
+
+/// Catalog entry for the random layered DAG generator:
+/// `random(layers,width,edge_pct,seed)` builds [`random_layered`] with
+/// `edge_prob = edge_pct / 100`.
+pub struct RandomLayeredKernel;
+
+impl Kernel for RandomLayeredKernel {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn description(&self) -> &'static str {
+        "seeded random layered DAG (fuzzing / property-test workloads)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint("layers", "number of layers", 2, 4096, 4),
+            ParamSpec::uint("width", "vertices per layer", 1, 4096, 8),
+            ParamSpec::uint("edge_pct", "per-edge probability in percent", 0, 100, 30),
+            ParamSpec::uint("seed", "RNG seed", 0, u64::MAX, 0xDA6),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        ensure_build_size(p.uint("layers").checked_mul(p.uint("width")))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        random_layered(RandomDagConfig {
+            layers: p.usize("layers"),
+            width: p.usize("width"),
+            edge_prob: p.uint("edge_pct") as f64 / 100.0,
+            seed: p.uint("seed"),
+        })
+    }
 }
 
 #[cfg(test)]

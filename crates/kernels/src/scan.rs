@@ -7,6 +7,7 @@
 //! lower-bound machinery differently (chains vs high-fan-out layers), and
 //! the pair forms a natural work-vs-wavefront ablation.
 
+use crate::catalog::{ensure_build_size, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Sequential (chain) inclusive scan over `n` inputs: `n−1` adds, depth
@@ -47,6 +48,60 @@ pub fn sklansky_scan(n: usize) -> Cdag {
         b.tag_output(v);
     }
     b.build().expect("Sklansky network is acyclic")
+}
+
+/// Catalog entry for the prefix-sum networks: `scan(n,kind)` builds
+/// [`sequential_scan`] (`kind=seq`) or [`sklansky_scan`]
+/// (`kind=sklansky`, `n` a power of two).
+pub struct ScanKernel;
+
+impl Kernel for ScanKernel {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn description(&self) -> &'static str {
+        "inclusive prefix sum: sequential chain or Sklansky minimum-depth network"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[
+            ParamSpec::uint(
+                "n",
+                "input count (power of two for sklansky)",
+                1,
+                1 << 20,
+                8,
+            ),
+            ParamSpec::choice("kind", "network shape", &["seq", "sklansky"], "seq"),
+        ];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        let n = p.uint("n");
+        if p.choice("kind") == "sklansky" {
+            if !n.is_power_of_two() || n < 2 {
+                return Err(format!(
+                    "n = {n} must be a power of two >= 2 for kind=sklansky"
+                ));
+            }
+            // (n/2)·log2(n) internal adds.
+            return ensure_build_size(
+                (n / 2)
+                    .checked_mul(n.trailing_zeros() as u64)
+                    .and_then(|adds| adds.checked_add(n)),
+            );
+        }
+        Ok(())
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        match p.choice("kind") {
+            "sklansky" => sklansky_scan(p.usize("n")),
+            _ => sequential_scan(p.usize("n")),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! generators compose (one iteration of CG is one SpMV + three dot products
 //! + three saxpies, Figure 3 of the paper).
 
+use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Appends a balanced binary reduction over `items` to `b`; returns the
@@ -95,6 +96,92 @@ pub fn saxpy_cdag(n: usize) -> Cdag {
         b.tag_output(v);
     }
     b.build().expect("saxpy is acyclic")
+}
+
+/// Catalog entry for the standalone dot product: `dot(n)` builds
+/// [`dot_product_cdag`].
+pub struct DotProductKernel;
+
+impl Kernel for DotProductKernel {
+    fn name(&self) -> &'static str {
+        "dot"
+    }
+
+    fn description(&self) -> &'static str {
+        "dot product <x, y> over two n-vectors (multiplies + reduction tree)"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[ParamSpec::uint("n", "vector length", 1, 1 << 20, 8)];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        ensure_build_size(p.uint("n").checked_mul(4))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        dot_product_cdag(p.usize("n"))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        // Left-to-right over the balanced tree: one partial per level plus
+        // the two operands of the current multiply.
+        let n = p.uint("n");
+        let depth = 64 - n.leading_zeros() as u64; // ceil(log2(n)) + 1-ish
+        (s >= depth + 3).then(|| {
+            AnalyticBound::new(
+                (2 * n + 1) as f64,
+                format!("streaming reduction: 2n loads + 1 store, n = {n}"),
+            )
+        })
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        Some(2.0 * p.uint("n") as f64 - 1.0)
+    }
+}
+
+/// Catalog entry for the standalone saxpy: `saxpy(n)` builds
+/// [`saxpy_cdag`].
+pub struct SaxpyKernel;
+
+impl Kernel for SaxpyKernel {
+    fn name(&self) -> &'static str {
+        "saxpy"
+    }
+
+    fn description(&self) -> &'static str {
+        "fused z = x + s·y over n-vectors"
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        const PARAMS: &[ParamSpec] = &[ParamSpec::uint("n", "vector length", 1, 1 << 20, 8)];
+        PARAMS
+    }
+
+    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+        ensure_build_size(p.uint("n").checked_mul(3).and_then(|v| v.checked_add(1)))
+    }
+
+    fn build(&self, p: &ParamValues) -> Cdag {
+        saxpy_cdag(p.usize("n"))
+    }
+
+    fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
+        // Stream x and y with the scalar resident: 2n + 1 loads, n stores.
+        let n = p.uint("n");
+        (s >= 4).then(|| {
+            AnalyticBound::new(
+                (3 * n + 1) as f64,
+                format!("streaming: 2n + 1 loads + n stores, n = {n} (S >= 4)"),
+            )
+        })
+    }
+
+    fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
+        Some(2.0 * p.uint("n") as f64)
+    }
 }
 
 #[cfg(test)]

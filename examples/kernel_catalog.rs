@@ -1,0 +1,53 @@
+//! Kernel catalog: from a spec string to a full pipeline report.
+//!
+//! ```text
+//! cargo run --example kernel_catalog
+//! ```
+
+use dmc::core::pipeline::{Analyzer, AnalyzerConfig};
+use dmc::kernels::catalog::{ProfileContext, Registry};
+
+fn main() {
+    let registry = Registry::shared();
+
+    // 1. Discover what is available (this is what `repro list` prints).
+    println!("registered kernels: {}\n", registry.names().join(", "));
+
+    // 2. One API from spec string to CDAG: parse, inspect, build.
+    let spec = registry
+        .parse("jacobi(n=8,d=2,t=4)")
+        .expect("valid spec — try `repro list` for the grammar");
+    println!("canonical spec: {}", spec.render());
+    let g = spec.build();
+    println!(
+        "built CDAG: |V| = {}, |E| = {}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // 3. Straight into the unified pipeline: the report carries the spec
+    //    and the kernel's analytic bounds next to the certified one.
+    let report = Analyzer::new(AnalyzerConfig {
+        sram: 8,
+        ..AnalyzerConfig::default()
+    })
+    .analyze_kernel(&spec);
+    println!("\n{report}");
+
+    // 4. The Section-5 profile hook (machine-balance input) where the
+    //    paper derives one for the family.
+    let ctx = ProfileContext {
+        nodes: 2048,
+        sram: 4_000_000,
+    };
+    if let Some(profile) = spec.kernel().profile(spec.values(), &ctx) {
+        println!(
+            "profile '{}': vertical LB/flop = {:?}",
+            profile.name, profile.vertical_lb_per_flop
+        );
+    }
+
+    // 5. Errors are loud and name the alternatives.
+    let err = registry.parse("jacobi(stencil=hex)").unwrap_err();
+    println!("\nbad spec rejected: {err}");
+}

@@ -5,7 +5,8 @@
 //! cargo run --example machine_balance
 //! ```
 
-use dmc::core::analysis::{analyze, cg_profile, gmres_profile, jacobi_profile};
+use dmc::core::analysis::analyze;
+use dmc::kernels::profile::{cg_profile, gmres_profile, jacobi_profile};
 use dmc::machine::specs;
 
 fn main() {

@@ -1,6 +1,7 @@
 //! The paper's headline quantitative claims, checked end to end.
 
-use dmc::core::analysis::{analyze, cg_profile, gmres_profile};
+use dmc::core::analysis::analyze;
+use dmc::kernels::profile::{cg_profile, gmres_profile};
 use dmc::kernels::{cg, gmres, jacobi, outer};
 use dmc::machine::specs;
 use dmc_machine::BandwidthVerdict;
