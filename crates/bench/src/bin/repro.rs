@@ -4,11 +4,13 @@
 //!
 //! Usage:
 //! ```text
-//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|analyze|catalog|partition|parallel|figures|all]
+//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|analyze|catalog|simulate|partition|parallel|figures|all]
 //!       [--threads N]
 //! repro list
 //! repro analyze <file.cdag> [--sram S] [--threads N] [--format text|json]
 //! repro analyze --kernel '<spec>' [--sram S] [--threads N] [--format text|json]
+//! repro simulate --kernel '<spec>' [--sram-sweep lo:hi:step] [--policy lru|opt]
+//!                [--threads N] [--format text|json]
 //! ```
 //!
 //! `--threads N` pins the worker count for the wavefront engine and the
@@ -17,16 +19,23 @@
 //! the pipeline table over the seed kernels; with a `.cdag` file or a
 //! `--kernel` spec (e.g. `jacobi(n=8,d=2,t=4)` — see `repro list` for the
 //! catalog) it reports the full provenance tree (`--format json` for
-//! machine-readable output).
+//! machine-readable output). `simulate` executes the kernel's schedule
+//! hook on the cache simulator across the S-sweep and sandwiches the
+//! measured I/O between the certified lower and upper bounds (the sweep
+//! defaults to three octaves up from the schedule's minimum feasible S;
+//! `--policy` restricts measurement to one eviction policy).
 
 use dmc_bench::ReportFormat;
+use dmc_sim::CachePolicy;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!(
         "{msg}; expected one of: table1 sec3 cg gmres \
-         jacobi pebbling mincut analyze catalog list partition parallel figures all \
+         jacobi pebbling mincut analyze catalog simulate list partition parallel figures all \
          (plus optional --threads N; analyze also takes \
-         <file.cdag> or --kernel '<spec>', --sram S, --format text|json)"
+         <file.cdag> or --kernel '<spec>', --sram S, --format text|json; \
+         simulate takes --kernel '<spec>', --sram-sweep lo:hi:step, \
+         --policy lru|opt, --format text|json)"
     );
     std::process::exit(2);
 }
@@ -36,11 +45,22 @@ struct Args {
     file: Option<String>,
     kernel: Option<String>,
     threads: Option<usize>,
-    /// `--sram` / `--format` stay `None` unless given explicitly, so the
-    /// dispatcher can reject them for experiments they do not apply to
-    /// instead of silently ignoring them.
+    /// `--sram` / `--format` / `--sram-sweep` / `--policy` stay `None`
+    /// unless given explicitly, so the dispatcher can reject them for
+    /// experiments they do not apply to instead of silently ignoring
+    /// them.
     sram: Option<u64>,
     format: Option<ReportFormat>,
+    sram_sweep: Option<(u64, u64, u64)>,
+    policy: Option<CachePolicy>,
+}
+
+fn parse_sweep(raw: &str) -> (u64, u64, u64) {
+    let parts: Vec<Option<u64>> = raw.split(':').map(|p| p.parse().ok()).collect();
+    match parts.as_slice() {
+        [Some(lo), Some(hi), Some(step)] => (*lo, *hi, *step),
+        _ => usage_error("--sram-sweep needs lo:hi:step (three positive integers)"),
+    }
 }
 
 fn parse_args(args: &[String]) -> Args {
@@ -51,6 +71,8 @@ fn parse_args(args: &[String]) -> Args {
         threads: None,
         sram: None,
         format: None,
+        sram_sweep: None,
+        policy: None,
     };
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -92,6 +114,18 @@ fn parse_args(args: &[String]) -> Args {
                 let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--kernel"));
                 parsed.kernel = Some(v);
             }
+            "--sram-sweep" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--sram-sweep"));
+                parsed.sram_sweep = Some(parse_sweep(&v));
+            }
+            "--policy" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--policy"));
+                parsed.policy = Some(match v.as_str() {
+                    "lru" => CachePolicy::Lru,
+                    "opt" => CachePolicy::Opt,
+                    _ => usage_error("--policy must be 'lru' or 'opt'"),
+                });
+            }
             _ if a.starts_with('-') => usage_error(&format!("unknown flag '{a}'")),
             _ if parsed.experiment.is_none() => parsed.experiment = Some(a.clone()),
             _ if parsed.experiment.as_deref() == Some("analyze") && parsed.file.is_none() => {
@@ -109,22 +143,40 @@ fn main() {
     let args = parse_args(&args);
     let arg = args.experiment.unwrap_or_else(|| "all".to_string());
     // Flags an experiment would silently drop are rejected loudly:
-    // `--kernel`/`--sram`/`--format` only shape the analyze report, and
-    // `--threads` only drives the mincut/analyze/catalog/all stages.
+    // `--kernel`/`--sram`/`--format` only shape the analyze/simulate
+    // reports, `--sram-sweep`/`--policy` only the simulate sweep, and
+    // `--threads` only drives the threaded stages.
     let analyzing_input = arg == "analyze" && (args.file.is_some() || args.kernel.is_some());
-    if args.kernel.is_some() && arg != "analyze" {
-        usage_error("--kernel only applies to 'analyze'");
+    let simulating = arg == "simulate";
+    if args.kernel.is_some() && !(arg == "analyze" || simulating) {
+        usage_error("--kernel only applies to 'analyze' and 'simulate'");
     }
     if args.kernel.is_some() && args.file.is_some() {
         usage_error("give either a <file.cdag> or --kernel '<spec>', not both");
     }
-    if (args.sram.is_some() || args.format.is_some()) && !analyzing_input {
+    if simulating && args.kernel.is_none() {
+        usage_error("simulate needs --kernel '<spec>' (see `repro list`)");
+    }
+    if args.sram.is_some() && !analyzing_input {
+        usage_error("--sram only applies to 'analyze <file.cdag>' or 'analyze --kernel'");
+    }
+    if args.format.is_some() && !(analyzing_input || simulating) {
         usage_error(
-            "--sram and --format only apply to 'analyze <file.cdag>' or 'analyze --kernel'",
+            "--format only applies to 'analyze <file.cdag>', 'analyze --kernel', and 'simulate'",
         );
     }
-    if args.threads.is_some() && !matches!(arg.as_str(), "mincut" | "analyze" | "catalog" | "all") {
-        usage_error("--threads only applies to 'mincut', 'analyze', 'catalog', and 'all'");
+    if (args.sram_sweep.is_some() || args.policy.is_some()) && !simulating {
+        usage_error("--sram-sweep and --policy only apply to 'simulate'");
+    }
+    if args.threads.is_some()
+        && !matches!(
+            arg.as_str(),
+            "mincut" | "analyze" | "catalog" | "simulate" | "all"
+        )
+    {
+        usage_error(
+            "--threads only applies to 'mincut', 'analyze', 'catalog', 'simulate', and 'all'",
+        );
     }
     let threads = args.threads.unwrap_or(0);
     let out = match arg.as_str() {
@@ -154,6 +206,15 @@ fn main() {
             }
         }
         "catalog" => dmc_bench::catalog_experiment_with(threads),
+        "simulate" => {
+            let format = args.format.unwrap_or(ReportFormat::Text);
+            let spec = args.kernel.as_deref().expect("checked above");
+            dmc_bench::simulate_kernel_spec(spec, args.sram_sweep, args.policy, threads, format)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+        }
         "list" => dmc_bench::list_catalog(),
         "partition" => dmc_bench::partition_experiment(),
         "parallel" => dmc_bench::parallel_experiment(),

@@ -1,4 +1,4 @@
-//! Experiment implementations (E1–E12 of DESIGN.md).
+//! Experiment implementations (E1–E15 of DESIGN.md).
 
 use dmc_cdag::cut::min_wavefront;
 use dmc_cdag::topo::topological_order;
@@ -604,6 +604,130 @@ pub fn catalog_experiment_with(threads: usize) -> String {
     out
 }
 
+/// The catalog kernels and 3-point S-sweeps the E15 table validates —
+/// shared with the repo-level acceptance suite (`tests/validation.rs`)
+/// so the table and the tests cannot drift apart.
+pub const E15_CASES: [(&str, [u64; 3]); 4] = [
+    ("jacobi(n=8,d=1,t=8)", [6, 12, 24]),
+    ("matmul(n=4)", [4, 8, 16]),
+    ("fft(n=8)", [3, 6, 12]),
+    ("composite(n=3)", [4, 8, 16]),
+];
+
+/// E15 — the empirical validation sandwich: each kernel's own schedule
+/// hook simulated at a 3-point S-sweep, the measured I/O bracketed by
+/// the certified pipeline lower bound and the RBW executor upper bound.
+pub fn simulate_experiment() -> String {
+    simulate_experiment_with(0)
+}
+
+/// [`simulate_experiment`] with an explicit thread budget (`0` = auto),
+/// as set by `repro all --threads N`.
+pub fn simulate_experiment_with(threads: usize) -> String {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    let mut out = String::from(
+        "== E15: empirical validation sandwich (measured I/O vs certified bounds) ==\n\
+         certified LB <= measured OPT <= measured LRU <= certified UB, per S:\n",
+    );
+    out.push_str(
+        "spec                     S    LB(cert)  OPT(io)  LRU(io)  UB(cert)  ok   schedule\n",
+    );
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        threads,
+        ..AnalyzerConfig::default()
+    });
+    for (spec, srams) in E15_CASES {
+        let r = analyzer
+            .validate_spec(spec, &srams, None)
+            .expect("E15 specs are valid");
+        for p in &r.points {
+            assert_eq!(
+                p.sandwich_ok(),
+                Some(true),
+                "{spec} S={}: sandwich violated: {p:?}",
+                p.sram
+            );
+            let io = |t: &Option<dmc_sim::Trace>| t.as_ref().map_or(0, |t| t.io());
+            let _ = writeln!(
+                out,
+                "{spec:<24} {:<4} {:<9} {:<8} {:<8} {:<9} {:<4} {}",
+                p.sram,
+                p.certified_lower,
+                io(&p.measured_opt),
+                io(&p.measured_lru),
+                p.certified_upper.unwrap_or(0),
+                if p.sandwich_ok() == Some(true) {
+                    "yes"
+                } else {
+                    "NO"
+                },
+                p.schedule_note,
+            );
+        }
+    }
+    out.push_str(
+        "(every measured run is itself a valid RBW game, so the bracket is a\n\
+         cross-implementation oracle: simulator vs bound machinery)\n",
+    );
+    out
+}
+
+/// Simulates a catalog kernel spec across an S-sweep and renders the
+/// validation sandwich — the `repro simulate --kernel <spec>` backend.
+///
+/// `sweep` is the parsed `lo:hi:step` triple (`None` = a default 3-point
+/// sweep starting at the schedule's minimum feasible capacity); `policy`
+/// restricts measurement to one cache policy (`None` = both).
+pub fn simulate_kernel_spec(
+    spec: &str,
+    sweep: Option<(u64, u64, u64)>,
+    policy: Option<dmc_sim::CachePolicy>,
+    threads: usize,
+    format: ReportFormat,
+) -> Result<String, String> {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    let registry = Registry::shared();
+    let parsed = registry
+        .parse(spec)
+        .map_err(|e| format!("{e}\n(run `repro list` for the catalog)"))?;
+    let g = parsed.build();
+    let srams: Vec<u64> = match sweep {
+        Some((lo, hi, step)) => {
+            if lo == 0 || step == 0 || hi < lo {
+                return Err(
+                    "--sram-sweep needs lo:hi:step with 1 <= lo <= hi and step >= 1".into(),
+                );
+            }
+            let points = (hi - lo) / step + 1;
+            if points > 256 {
+                return Err(format!(
+                    "--sram-sweep spans {points} points (limit 256); widen the step"
+                ));
+            }
+            (lo..=hi).step_by(step as usize).collect()
+        }
+        None => {
+            // Default: three octaves up from the schedule's minimum
+            // feasible capacity, so the sweep is always simulatable.
+            let required = dmc_sim::simulation::min_feasible_capacity(&g) as u64;
+            vec![required, 2 * required, 4 * required]
+        }
+    };
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        threads,
+        ..AnalyzerConfig::default()
+    });
+    let report = analyzer.validate_built(&parsed, &g, &srams, policy);
+    Ok(match format {
+        ReportFormat::Text => format!("== repro simulate --kernel {} ==\n{report}", report.spec),
+        ReportFormat::Json => {
+            let mut json = serde::json::to_string(&report);
+            json.push('\n');
+            json
+        }
+    })
+}
+
 /// Partition ablation — Theorem 1 construction vs greedy chunking.
 pub fn partition_experiment() -> String {
     let mut out = String::from("== partition ablation: Theorem-1 vs greedy ==\n");
@@ -746,6 +870,8 @@ pub fn run_all_with(threads: usize) -> String {
     out.push('\n');
     out.push_str(&catalog_experiment_with(threads));
     out.push('\n');
+    out.push_str(&simulate_experiment_with(threads));
+    out.push('\n');
     out.push_str(&partition_experiment());
     out.push('\n');
     out.push_str(&parallel_experiment());
@@ -828,6 +954,54 @@ mod tests {
         assert!(t.contains("spec grammar"), "{t}");
         assert!(t.contains("jacobi("), "{t}");
         assert!(t.contains("star|box"), "{t}");
+    }
+
+    #[test]
+    fn simulate_experiment_reports_the_sandwich_for_all_cases() {
+        let t = simulate_experiment_with(1);
+        for (spec, srams) in E15_CASES {
+            assert!(t.contains(spec), "{spec} missing:\n{t}");
+            for s in srams {
+                assert!(
+                    t.lines().any(|l| {
+                        l.starts_with(spec)
+                            && l.split_whitespace().nth(1) == Some(&s.to_string())
+                            && l.contains("yes")
+                    }),
+                    "{spec} S={s} row missing or not ok:\n{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_kernel_spec_rejects_bad_input_loudly() {
+        let err =
+            simulate_kernel_spec("warp_drive", None, None, 1, ReportFormat::Text).unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
+        let err = simulate_kernel_spec("fft(n=8)", Some((8, 4, 1)), None, 1, ReportFormat::Text)
+            .unwrap_err();
+        assert!(err.contains("lo:hi:step"), "{err}");
+        let err = simulate_kernel_spec(
+            "fft(n=8)",
+            Some((1, 10_000, 1)),
+            None,
+            1,
+            ReportFormat::Text,
+        )
+        .unwrap_err();
+        assert!(err.contains("limit 256"), "{err}");
+    }
+
+    #[test]
+    fn simulate_kernel_spec_default_sweep_is_feasible() {
+        let t = simulate_kernel_spec("matmul(n=3)", None, None, 1, ReportFormat::Text)
+            .expect("valid spec");
+        assert!(
+            !t.contains("skipped"),
+            "default sweep must be feasible:\n{t}"
+        );
+        assert!(t.contains("yes"), "{t}");
     }
 
     #[test]

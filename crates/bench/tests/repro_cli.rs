@@ -30,6 +30,7 @@ fn unknown_experiment_exits_with_usage_error() {
         "mincut",
         "analyze",
         "catalog",
+        "simulate",
         "list",
         "partition",
         "parallel",
@@ -166,19 +167,27 @@ fn analyze_missing_file_exits_with_error() {
 /// --format json` printed the *text* kernel table with exit 0.
 #[test]
 fn sram_and_format_rejected_where_they_do_not_apply() {
-    for args in [
-        &["analyze", "--format", "json"][..],
-        &["analyze", "--sram", "9"][..],
-        &["table1", "--format", "json"][..],
-        &["mincut", "--sram", "8"][..],
+    for (args, msg) in [
+        (
+            &["analyze", "--format", "json"][..],
+            "--format only applies",
+        ),
+        (&["analyze", "--sram", "9"][..], "--sram only applies"),
+        (&["table1", "--format", "json"][..], "--format only applies"),
+        (&["mincut", "--sram", "8"][..], "--sram only applies"),
+        (
+            &["table1", "--policy", "lru"][..],
+            "only apply to 'simulate'",
+        ),
+        (
+            &["analyze", "--sram-sweep", "2:8:2"][..],
+            "only apply to 'simulate'",
+        ),
     ] {
         let out = repro().args(args).output().expect("repro binary runs");
         assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
         let stderr = String::from_utf8_lossy(&out.stderr);
-        assert!(
-            stderr.contains("only apply to 'analyze <file.cdag>'"),
-            "{args:?}: {stderr}"
-        );
+        assert!(stderr.contains(msg), "{args:?}: {stderr}");
     }
     // Same rule for --threads on experiments that cannot use it.
     for args in [
@@ -341,4 +350,104 @@ fn default_argument_is_all() {
     let out = repro().arg("sec3").output().expect("repro binary runs");
     assert!(out.status.success(), "sec3 must exit 0");
     assert!(!out.stdout.is_empty(), "sec3 prints a table");
+}
+
+#[test]
+fn simulate_prints_the_sandwich_table() {
+    let out = repro()
+        .args([
+            "simulate",
+            "--kernel",
+            "fft(n=8)",
+            "--sram-sweep",
+            "3:12:3",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "simulate must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sandwich"), "{stdout}");
+    assert!(stdout.contains("fft(n=8)"), "{stdout}");
+    // 3:12:3 → four sweep rows, all sandwiched.
+    assert_eq!(stdout.matches("yes").count(), 4, "{stdout}");
+}
+
+#[test]
+fn simulate_json_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = repro()
+            .args([
+                "simulate",
+                "--kernel",
+                "jacobi(n=8,d=1,t=4)",
+                "--sram-sweep",
+                "4:16:4",
+                "--format",
+                "json",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("repro binary runs");
+        assert!(out.status.success(), "simulate --format json must exit 0");
+        out.stdout
+    };
+    let base = run("1");
+    let body = String::from_utf8_lossy(&base);
+    assert!(body.trim().starts_with('{'), "{body}");
+    for key in [
+        "\"sandwich_holds\":true",
+        "\"measured_opt\"",
+        "\"measured_lru\"",
+    ] {
+        assert!(body.contains(key), "missing {key}: {body}");
+    }
+    for threads in ["2", "4"] {
+        assert_eq!(run(threads), base, "JSON differs @ {threads} threads");
+    }
+}
+
+#[test]
+fn simulate_policy_filter_and_errors() {
+    let out = repro()
+        .args(["simulate", "--kernel", "fft(n=8)", "--policy", "opt"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "simulate --policy opt must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The LRU column (4th) is dashed out when only OPT is measured.
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.split_whitespace().nth(3) == Some("-")
+                && l.split_whitespace().nth(2) != Some("-")),
+        "{stdout}"
+    );
+
+    let out = repro().arg("simulate").output().expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "simulate needs --kernel");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--kernel"), "{stderr}");
+
+    let out = repro()
+        .args(["simulate", "--kernel", "fft(n=8)", "--policy", "mru"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad --policy must exit 2");
+
+    let out = repro()
+        .args(["simulate", "--kernel", "fft(n=8)", "--sram-sweep", "4-16"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad --sram-sweep must exit 2");
+
+    let out = repro()
+        .args(["simulate", "--kernel", "warp_drive"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown kernel must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("repro list"), "{stderr}");
 }

@@ -109,6 +109,29 @@ impl AnchorScratch {
 /// Construction precomputes the depth levels and the per-level pruning
 /// estimates once (`O(|V| + |E|)`); each [`WavefrontEngine::run`] then fans
 /// the anchor batch out over scoped worker threads.
+///
+/// ```
+/// use dmc_cdag::builder::CdagBuilder;
+/// use dmc_cdag::engine::WavefrontEngine;
+///
+/// let mut b = CdagBuilder::new();
+/// let a = b.add_input("a");
+/// let x = b.add_op("x", &[a]);
+/// let y = b.add_op("y", &[a]);
+/// let d = b.add_op("d", &[x, y]);
+/// b.tag_output(d);
+/// let g = b.build().unwrap();
+///
+/// let anchors: Vec<_> = g.vertices().collect();
+/// let parallel = WavefrontEngine::new(&g).with_threads(4).run(&anchors);
+/// let serial = WavefrontEngine::new(&g).with_threads(1).run(&anchors);
+/// // The winning wavefront is identical at any worker count.
+/// assert_eq!(
+///     parallel.best.as_ref().unwrap().size,
+///     serial.best.as_ref().unwrap().size,
+/// );
+/// assert_eq!(parallel.anchors_considered, 4);
+/// ```
 pub struct WavefrontEngine<'g> {
     g: &'g Cdag,
     threads: usize,

@@ -29,13 +29,14 @@
 //! * Dinic max-flow and *vertex* min-cuts via vertex splitting ([`flow`]),
 //! * convex cuts and schedule wavefronts ([`cut`]),
 //! * a parallel batched engine for `max_x |W^min(x)|` ([`engine`]),
+//! * deterministic indexed fan-out over scoped workers ([`fanout`]),
 //! * minimum dominator-set cardinalities ([`dominator`]),
 //! * weakly-connected components for automatic decomposition
 //!   ([`components`]),
 //! * induced sub-CDAGs and quotient graphs for decomposition ([`subgraph`]),
 //! * Graphviz DOT export ([`dot`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bitset;
@@ -45,6 +46,7 @@ pub mod cut;
 pub mod dominator;
 pub mod dot;
 pub mod engine;
+pub mod fanout;
 pub mod flow;
 pub mod graph;
 pub mod reach;

@@ -10,7 +10,22 @@ use crate::graph::{Cdag, VertexId};
 /// Returns a topological order of `g` (Kahn's algorithm, FIFO tie-breaking).
 ///
 /// The builder guarantees acyclicity, so this always succeeds and visits all
-/// vertices.
+/// vertices. The order is fully deterministic: the ready queue is seeded in
+/// ascending id order and drained FIFO.
+///
+/// ```
+/// use dmc_cdag::builder::CdagBuilder;
+/// use dmc_cdag::topo::{is_valid_topological_order, topological_order};
+///
+/// let mut b = CdagBuilder::new();
+/// let a = b.add_input("a");
+/// let x = b.add_op("x", &[a]);
+/// b.tag_output(x);
+/// let g = b.build().unwrap();
+/// let order = topological_order(&g);
+/// assert_eq!(order, vec![a, x]);
+/// assert!(is_valid_topological_order(&g, &order));
+/// ```
 pub fn topological_order(g: &Cdag) -> Vec<VertexId> {
     let n = g.num_vertices();
     let mut indeg: Vec<u32> = (0..n)
@@ -66,6 +81,81 @@ pub fn dfs_topological_order(g: &Cdag) -> Vec<VertexId> {
         }
     }
     order.reverse();
+    order
+}
+
+/// Completes a *preferred* firing sequence into a full topological order.
+///
+/// Every vertex yielded by `preferred` is emitted after its not-yet-emitted
+/// ancestors, which are pulled in depth-first (predecessor-declaration
+/// order); vertices the preference never reaches are appended the same way
+/// in ascending id order. The result is always a valid topological order
+/// covering every vertex, whatever the preference was.
+///
+/// This is the workhorse behind the kernel catalog's schedule hooks: a
+/// kernel describes only the cache-friendly *traversal* (tile order, a
+/// blocked sweep of the output blocks) and the dependence closure — inputs
+/// and intermediate producers — follows automatically, each value
+/// materializing right before its first use.
+///
+/// ```
+/// use dmc_cdag::builder::CdagBuilder;
+/// use dmc_cdag::topo::{complete_order, is_valid_topological_order};
+///
+/// let mut b = CdagBuilder::new();
+/// let x = b.add_input("x");
+/// let y = b.add_input("y");
+/// let p = b.add_op("p", &[x, y]);
+/// let q = b.add_op("q", &[p]);
+/// b.tag_output(q);
+/// let g = b.build().unwrap();
+///
+/// // Prefer firing `q` first: its ancestors x, y, p are pulled in ahead
+/// // of it, depth-first, and nothing is emitted twice.
+/// let order = complete_order(&g, [q]);
+/// assert_eq!(order, vec![x, y, p, q]);
+/// assert!(is_valid_topological_order(&g, &order));
+/// ```
+pub fn complete_order(g: &Cdag, preferred: impl IntoIterator<Item = VertexId>) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut emitted = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS over unemitted ancestors. A vertex can be pushed more
+    // than once (shared ancestor reached along two paths before either
+    // emits it); the emitted check on pop makes the duplicate a no-op.
+    let mut stack: Vec<(VertexId, usize)> = Vec::new();
+    let mut emit_with_ancestors =
+        |root: VertexId, emitted: &mut Vec<bool>, order: &mut Vec<VertexId>| {
+            if emitted[root.index()] {
+                return;
+            }
+            stack.push((root, 0));
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                if emitted[u.index()] {
+                    stack.pop();
+                    continue;
+                }
+                let preds = g.predecessors(u);
+                if *next < preds.len() {
+                    let p = preds[*next];
+                    *next += 1;
+                    if !emitted[p.index()] {
+                        stack.push((p, 0));
+                    }
+                } else {
+                    emitted[u.index()] = true;
+                    order.push(u);
+                    stack.pop();
+                }
+            }
+        };
+    for v in preferred {
+        emit_with_ancestors(v, &mut emitted, &mut order);
+    }
+    for i in 0..n {
+        emit_with_ancestors(VertexId(i as u32), &mut emitted, &mut order);
+    }
+    debug_assert_eq!(order.len(), n, "completion must cover all vertices");
     order
 }
 
@@ -200,6 +290,32 @@ mod tests {
         assert_eq!(lv[2].len(), 1);
         let total: usize = lv.iter().map(|l| l.len()).sum();
         assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn complete_order_respects_preference_and_pulls_ancestors() {
+        let g = diamond();
+        // Prefer the sink first: everything is pulled in before it.
+        let sink = VertexId(3);
+        let order = complete_order(&g, [sink]);
+        assert!(is_valid_topological_order(&g, &order));
+        assert_eq!(order.last(), Some(&sink));
+        // An empty preference appends everything in id order.
+        let order = complete_order(&g, []);
+        assert!(is_valid_topological_order(&g, &order));
+        assert_eq!(order.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn complete_order_ignores_duplicates_and_covers_stragglers() {
+        let g = chain(6);
+        let mid = VertexId(3);
+        // Duplicated and out-of-order preferences still produce a valid
+        // permutation covering every vertex exactly once.
+        let order = complete_order(&g, [mid, mid, VertexId(1)]);
+        assert!(is_valid_topological_order(&g, &order));
+        // The preferred prefix: 0..=3 (ancestors of mid), then the rest.
+        assert_eq!(&order[..4], &[VertexId(0), VertexId(1), VertexId(2), mid]);
     }
 
     #[test]

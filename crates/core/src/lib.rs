@@ -27,8 +27,12 @@
 //! * **The unified pipeline** ([`pipeline`]): automatic component
 //!   decomposition, a parallel method portfolio per component, Theorem-2
 //!   composition, and provenance-tree reports for arbitrary CDAGs.
+//! * **Empirical validation** ([`validate`]): catalog kernels executed on
+//!   the `dmc-sim` cache simulator along their own schedule hooks, the
+//!   measured I/O sandwiched per `S` between the pipeline's certified
+//!   lower bound and the RBW executor's certified upper bound.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
@@ -37,7 +41,9 @@ pub mod games;
 pub mod parallel;
 pub mod partition;
 pub mod pipeline;
+pub mod validate;
 
 pub use bounds::{IoBound, Method, Provenance};
 pub use games::{GameError, GameTrace, Move};
 pub use pipeline::{AnalysisReport, Analyzer, AnalyzerConfig};
+pub use validate::{ValidationPoint, ValidationReport};

@@ -34,6 +34,7 @@ use crate::bounds::mincut::{auto_wavefront_bound_with, AnchorStrategy};
 use crate::bounds::{best_lower_bound, lemma1_lower_bound, IoBound, Method};
 use crate::partition::construct::greedy_partition;
 use dmc_cdag::components::weakly_connected_components;
+use dmc_cdag::fanout::fan_out_indexed;
 use dmc_cdag::subgraph::{self, InducedSubCdag};
 use dmc_cdag::topo::topological_order;
 use dmc_cdag::{Cdag, VertexId};
@@ -42,7 +43,6 @@ use dmc_machine::specs;
 use serde::json::Value;
 use serde::Serialize;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One member of the analysis method portfolio.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -491,9 +491,9 @@ impl Analyzer {
         report
     }
 
-    /// Fans per-component analyses out over scoped workers pulling from a
-    /// shared queue; the merge reassembles results by component index, so
-    /// the report is bit-identical at any thread count.
+    /// Fans per-component analyses out over scoped workers
+    /// ([`fan_out_indexed`]); the index-ordered merge keeps the report
+    /// bit-identical at any thread count.
     fn analyze_components(&self, pieces: &[InducedSubCdag]) -> Vec<ComponentReport> {
         let total = self.resolved_threads(usize::MAX);
         let workers = total.clamp(1, pieces.len());
@@ -502,37 +502,12 @@ impl Analyzer {
         // surplus. The engine's result is thread-count-invariant, so the
         // bit-identical-report guarantee is unaffected.
         let engine_threads = (total / pieces.len()).max(1);
-        if workers <= 1 {
-            return pieces
-                .iter()
-                .enumerate()
-                .map(|(i, p)| self.component_report(i, p, engine_threads))
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, ComponentReport)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= pieces.len() {
-                                break;
-                            }
-                            local.push((i, self.component_report(i, &pieces[i], engine_threads)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("component worker panicked"))
-                .collect()
-        });
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        fan_out_indexed(
+            pieces.len(),
+            workers,
+            || (),
+            |_, i| self.component_report(i, &pieces[i], engine_threads),
+        )
     }
 
     fn component_report(
@@ -585,7 +560,7 @@ impl Analyzer {
         }
     }
 
-    fn resolved_threads(&self, work_items: usize) -> usize {
+    pub(crate) fn resolved_threads(&self, work_items: usize) -> usize {
         let t = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())

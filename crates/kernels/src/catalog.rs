@@ -42,7 +42,8 @@
 //! ```
 
 use crate::profile::AlgorithmProfile;
-use dmc_cdag::Cdag;
+use dmc_cdag::topo::topological_order;
+use dmc_cdag::{Cdag, VertexId};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -248,6 +249,39 @@ impl AnalyticBound {
     }
 }
 
+/// An executable schedule for a built kernel CDAG, as emitted by the
+/// [`Kernel::schedule_source`] hook: a full topological order plus a
+/// provenance note recording which traversal produced it.
+///
+/// The `dmc-sim` schedule executor and the empirical-validation pipeline
+/// consume these orders; the note travels into their reports so a
+/// measurement is always attributable to a concrete schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSchedule {
+    /// A topological order over *all* vertices of the built CDAG
+    /// (inputs included).
+    pub order: Vec<VertexId>,
+    /// Which traversal produced the order, with its parameters — e.g.
+    /// `"skewed 1-D parallelogram tiles (w = 14)"`.
+    pub note: String,
+}
+
+impl KernelSchedule {
+    /// Wraps an order with its provenance note.
+    pub fn new(order: Vec<VertexId>, note: impl Into<String>) -> Self {
+        KernelSchedule {
+            order,
+            note: note.into(),
+        }
+    }
+
+    /// The deterministic fallback every kernel gets for free: the Kahn
+    /// order from [`dmc_cdag::topo::topological_order`].
+    pub fn default_for(g: &Cdag) -> Self {
+        KernelSchedule::new(topological_order(g), "default Kahn topological order")
+    }
+}
+
 /// Machine context for [`Kernel::profile`]: the Section-5 profiles are
 /// per-FLOP ratios that depend on the node count and per-node fast
 /// memory, not only on the kernel's own parameters.
@@ -299,6 +333,22 @@ pub trait Kernel: Send + Sync {
     /// schedule the formula assumes).
     fn analytic_upper_bound(&self, _p: &ParamValues, _s: u64) -> Option<AnalyticBound> {
         None
+    }
+
+    /// Emits an executable schedule for `g` (a CDAG built from `p`),
+    /// tuned for fast-memory capacity `s` where the family has a known
+    /// cache-friendly traversal — the skewed space-time tiling for
+    /// Jacobi, blocked output sweeps for matmul and the composite, the
+    /// staged sub-transform factorization for the FFT.
+    ///
+    /// The default falls back to the deterministic Kahn order of
+    /// [`dmc_cdag::topo::topological_order`] — always valid, never
+    /// tuned. Implementations must return a topological order of `g`
+    /// covering every vertex (build the traversal with
+    /// [`dmc_cdag::topo::complete_order`] to get the dependence closure
+    /// for free); the validation pipeline asserts this.
+    fn schedule_source(&self, _p: &ParamValues, g: &Cdag, _s: u64) -> KernelSchedule {
+        KernelSchedule::default_for(g)
     }
 
     /// Approximate FLOP count (the paper's `|V|`-style estimates).
@@ -355,6 +405,24 @@ impl<'r> KernelSpec<'r> {
     /// Builds the CDAG.
     pub fn build(&self) -> Cdag {
         self.kernel.build(&self.values)
+    }
+
+    /// The kernel's executable schedule for `g` (a CDAG this spec built)
+    /// at fast-memory capacity `s` — delegates to
+    /// [`Kernel::schedule_source`].
+    ///
+    /// ```
+    /// use dmc_cdag::topo::is_valid_topological_order;
+    /// use dmc_kernels::catalog::Registry;
+    ///
+    /// let spec = Registry::shared().parse("jacobi(n=8,d=1,t=4)").unwrap();
+    /// let g = spec.build();
+    /// let sched = spec.schedule_source(&g, 16);
+    /// assert!(is_valid_topological_order(&g, &sched.order));
+    /// assert!(sched.note.contains("tile"), "{}", sched.note);
+    /// ```
+    pub fn schedule_source(&self, g: &Cdag, s: u64) -> KernelSchedule {
+        self.kernel.schedule_source(&self.values, g, s)
     }
 }
 
@@ -559,6 +627,18 @@ impl Registry {
     /// Parses and validates a spec string (see the module docs for the
     /// grammar). Omitted parameters take their defaults; every error
     /// path names the valid alternatives.
+    ///
+    /// ```
+    /// use dmc_kernels::catalog::Registry;
+    ///
+    /// let registry = Registry::shared();
+    /// let spec = registry.parse("matmul(n=4)").unwrap();
+    /// assert_eq!(spec.render(), "matmul(n=4,accumulate=tree)");
+    /// assert_eq!(spec.build().num_inputs(), 2 * 4 * 4);
+    /// // Errors are loud and name the alternatives.
+    /// let err = registry.parse("matmul(n=zero)").unwrap_err();
+    /// assert!(err.to_string().contains("not an unsigned integer"));
+    /// ```
     pub fn parse(&self, spec: &str) -> Result<KernelSpec<'_>, SpecError> {
         let trimmed = spec.trim();
         let syntax = |reason: &str| SpecError::Syntax {
@@ -774,6 +854,46 @@ mod tests {
             matches!(err, SpecError::Invalid { .. }) && msg.contains("vertices"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn every_kernel_schedule_is_a_topological_order() {
+        use dmc_cdag::topo::is_valid_topological_order;
+        let r = Registry::shared();
+        for kernel in r.iter() {
+            let spec = r.defaults(kernel.name()).expect("registered");
+            let g = spec.build();
+            for s in [2u64, 8, 64] {
+                let sched = spec.schedule_source(&g, s);
+                assert_eq!(
+                    sched.order.len(),
+                    g.num_vertices(),
+                    "{} @ S={s}",
+                    spec.render()
+                );
+                assert!(
+                    is_valid_topological_order(&g, &sched.order),
+                    "{} @ S={s}: '{}' is not a topological order",
+                    spec.render(),
+                    sched.note
+                );
+                assert!(!sched.note.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_hook_is_deterministic() {
+        let r = Registry::shared();
+        for name in ["jacobi", "matmul", "fft", "composite", "cg"] {
+            let spec = r.defaults(name).expect("registered");
+            let g = spec.build();
+            assert_eq!(
+                spec.schedule_source(&g, 16),
+                spec.schedule_source(&g, 16),
+                "{name}: schedule must not vary between calls"
+            );
+        }
     }
 
     #[test]

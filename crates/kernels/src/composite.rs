@@ -16,8 +16,11 @@
 //! rematerialized cheaply from the vectors. This is the paper's motivation
 //! for a decomposition-friendly game (RBW) rather than per-stage analysis.
 
-use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{
+    ensure_build_size, AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues,
+};
 use crate::vecops::reduce_tree;
+use dmc_cdag::topo::complete_order;
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds the full composite CDAG for vectors of length `n`.
@@ -121,6 +124,23 @@ impl Kernel for CompositeKernel {
         ))
     }
 
+    fn schedule_source(&self, p: &ParamValues, g: &Cdag, s: u64) -> KernelSchedule {
+        let n = p.usize("n");
+        // Same blocked C-output sweep as the matmul kernel (shared
+        // helpers); A/B stage vertices and the p/q/r/s inputs materialize
+        // on first use, and the global-sum tree drains last. Layout (see
+        // [`composite`]): 4n inputs, then A/B pairs, then per-C blocks of
+        // 2n−1 vertices, then the sum tree ending at the final vertex.
+        let b = crate::matmul::block_side(s, n);
+        let mut preferred = crate::matmul::blocked_output_sweep(n, b, 4 * n + 2 * n * n, 2 * n - 1);
+        // The tagged output — complete_order pulls the sum-tree adds.
+        preferred.push(VertexId((g.num_vertices() - 1) as u32));
+        KernelSchedule::new(
+            complete_order(g, preferred),
+            format!("blocked C-output sweep ({b}x{b} tiles), A/B and inputs on first use"),
+        )
+    }
+
     fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
         // 2n^2 outer products + n^3 multiplies + n^2(n-1) + n^2-1 adds
         // = 2n^3 + 2n^2 - 1 (the CDAG's exact compute-vertex count).
@@ -170,6 +190,32 @@ mod tests {
         let achievable = composite_hong_kung_achievable_io(n) as f64;
         let per_stage = composite_per_stage_io(n, (4 * n + 4) as u64);
         assert!(achievable < per_stage / 10.0);
+    }
+
+    #[test]
+    fn schedule_hook_is_topological_and_ends_at_the_sum() {
+        use crate::catalog::Registry;
+        use dmc_cdag::topo::is_valid_topological_order;
+        for n in [1usize, 2, 4] {
+            for s in [2u64, 8, 32] {
+                let spec = Registry::shared()
+                    .parse(&format!("composite(n={n})"))
+                    .expect("valid spec");
+                let g = spec.build();
+                let sched = spec.schedule_source(&g, s);
+                assert_eq!(sched.order.len(), g.num_vertices());
+                assert!(
+                    is_valid_topological_order(&g, &sched.order),
+                    "n={n} S={s}: '{}' not topological",
+                    sched.note
+                );
+                assert_eq!(
+                    sched.order.last().map(|v| v.index()),
+                    Some(g.num_vertices() - 1),
+                    "the global sum drains last"
+                );
+            }
+        }
     }
 
     #[test]

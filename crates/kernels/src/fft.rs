@@ -5,7 +5,8 @@
 //! showed its I/O complexity is `Θ(n·log n / log S)`; the paper's related
 //! work (Ranjan–Savage–Zubair) sharpens the constants.
 
-use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues};
+use dmc_cdag::topo::complete_order;
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds the `n`-point FFT butterfly CDAG (`n` must be a power of two).
@@ -87,6 +88,38 @@ impl Kernel for FftKernel {
         })
     }
 
+    fn schedule_source(&self, p: &ParamValues, g: &Cdag, s: u64) -> KernelSchedule {
+        let n = p.usize("n");
+        let stages = n.trailing_zeros() as usize;
+        // The classic I/O-efficient factorization: group q consecutive
+        // stages with 2^q ≈ S/2, so one 2^q-point sub-butterfly fits in
+        // fast memory. Within a stage group [lo, hi] a vertex at stage
+        // `st` depends only on indices agreeing outside bit range
+        // [lo−1, hi−1], so indices split into independent blocks of
+        // 2^(hi−lo+1); each block is swept stage-ascending.
+        let q = (s.max(4) / 2).ilog2().min(stages.max(1) as u32) as usize;
+        let mut preferred = Vec::with_capacity(n * stages);
+        let mut lo = 1usize;
+        while lo <= stages {
+            let hi = (lo + q - 1).min(stages);
+            let width = hi - lo + 1;
+            let mask = ((1usize << width) - 1) << (lo - 1);
+            for base in (0..n).filter(|i| i & mask == 0) {
+                for st in lo..=hi {
+                    for k in 0..(1usize << width) {
+                        let i = base | (k << (lo - 1));
+                        preferred.push(VertexId((st * n + i) as u32));
+                    }
+                }
+            }
+            lo = hi + 1;
+        }
+        KernelSchedule::new(
+            complete_order(g, preferred),
+            format!("staged sub-transforms ({q} stages per pass), inputs on first use"),
+        )
+    }
+
     fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
         let n = p.uint("n") as f64;
         Some(n * n.log2())
@@ -138,5 +171,26 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = fft(12);
+    }
+
+    #[test]
+    fn schedule_hook_is_topological_across_sizes_and_budgets() {
+        use crate::catalog::Registry;
+        use dmc_cdag::topo::is_valid_topological_order;
+        for n in [2usize, 8, 16, 32] {
+            for s in [2u64, 4, 8, 64, 1024] {
+                let spec = Registry::shared()
+                    .parse(&format!("fft(n={n})"))
+                    .expect("valid spec");
+                let g = spec.build();
+                let sched = spec.schedule_source(&g, s);
+                assert_eq!(sched.order.len(), g.num_vertices());
+                assert!(
+                    is_valid_topological_order(&g, &sched.order),
+                    "n={n} S={s}: '{}' not topological",
+                    sched.note
+                );
+            }
+        }
     }
 }

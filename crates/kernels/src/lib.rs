@@ -24,9 +24,14 @@
 //! Every family is also registered in the [`catalog`] — a [`catalog::Kernel`]
 //! trait with declared parameters and a [`catalog::Registry`] that parses
 //! spec strings like `jacobi(n=32,d=2,t=8,stencil=star)` — and the paper's
-//! Section-5 per-FLOP profiles live in [`profile`].
+//! Section-5 per-FLOP profiles live in [`profile`]. Catalog entries can
+//! additionally emit an executable schedule via
+//! [`catalog::Kernel::schedule_source`] (skewed tilings for Jacobi,
+//! blocked sweeps for matmul/composite, staged sub-transforms for the
+//! FFT); the `dmc-sim` simulator and `dmc-core`'s empirical-validation
+//! pipeline execute these orders.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;

@@ -5,8 +5,11 @@
 //! `N³/(2√(2S))` under the 2S-partition argument (Section 3 of the paper
 //! cites `N³/2√(2S)`; see also Irony–Toledo–Tiskin).
 
-use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{
+    ensure_build_size, AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues,
+};
 use crate::vecops::reduce_tree;
+use dmc_cdag::topo::complete_order;
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds the CDAG of `C = A·B` for `n×n` matrices with per-element
@@ -70,6 +73,35 @@ pub fn matmul_io_lower_bound(n: usize, s: u64) -> f64 {
     n * n * n / (2.0 * (2.0 * s as f64).sqrt())
 }
 
+/// Output-tile side for a blocked sweep at capacity `s`: a `b×b` tile of
+/// `C` touches `b` rows of `A` and `b` columns of `B`, so `b ≈ √(S/2)`
+/// amortizes the tile's A/B traffic. Shared by the matmul and composite
+/// schedule hooks.
+pub(crate) fn block_side(s: u64, n: usize) -> usize {
+    (((s / 2) as f64).sqrt().floor() as usize).clamp(1, n)
+}
+
+/// Blocked sweep over `n×n` output elements: emits, tile by tile (`b×b`
+/// output elements, row-major within a tile), the `block`-vertex id range
+/// of each element, laid out consecutively from `base + (i·n + j)·block`.
+/// The traversal behind the matmul and composite schedule hooks — feed it
+/// to [`dmc_cdag::topo::complete_order`] to pull inputs (and any other
+/// ancestors) in on first use.
+pub(crate) fn blocked_output_sweep(n: usize, b: usize, base: usize, block: usize) -> Vec<VertexId> {
+    let mut preferred = Vec::with_capacity(n * n * block);
+    for bi in (0..n).step_by(b) {
+        for bj in (0..n).step_by(b) {
+            for i in bi..(bi + b).min(n) {
+                for j in bj..(bj + b).min(n) {
+                    let start = base + (i * n + j) * block;
+                    preferred.extend((start..start + block).map(|k| VertexId(k as u32)));
+                }
+            }
+        }
+    }
+    preferred
+}
+
 /// Catalog entry for dense matmul: `matmul(n,accumulate)` builds
 /// [`matmul`] (balanced-tree accumulation) or
 /// [`matmul_chain_accumulate`], and surfaces the `N³/(2√(2S))` bound.
@@ -115,6 +147,20 @@ impl Kernel for MatmulKernel {
             matmul_io_lower_bound(n, s),
             format!("Hong-Kung/Irony et al.: n^3/(2·sqrt(2S)) with n = {n}, S = {s}"),
         ))
+    }
+
+    fn schedule_source(&self, p: &ParamValues, g: &Cdag, s: u64) -> KernelSchedule {
+        let n = p.usize("n");
+        let b = block_side(s, n);
+        // Both accumulation shapes lay each C element's subgraph out as
+        // 2n−1 consecutive vertices after the 2n² inputs (n products,
+        // then n−1 accumulations) — see [`matmul`] /
+        // [`matmul_chain_accumulate`].
+        let preferred = blocked_output_sweep(n, b, 2 * n * n, 2 * n - 1);
+        KernelSchedule::new(
+            complete_order(g, preferred),
+            format!("blocked C-output sweep ({b}x{b} tiles), inputs on first use"),
+        )
     }
 
     fn flops_estimate(&self, p: &ParamValues) -> Option<f64> {
@@ -172,5 +218,27 @@ mod tests {
         let g = matmul(1);
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_outputs(), 1);
+    }
+
+    #[test]
+    fn schedule_hook_is_topological_for_both_accumulations() {
+        use crate::catalog::Registry;
+        use dmc_cdag::topo::is_valid_topological_order;
+        for acc in ["tree", "chain"] {
+            for s in [2u64, 8, 32] {
+                let spec = Registry::shared()
+                    .parse(&format!("matmul(n=4,accumulate={acc})"))
+                    .expect("valid spec");
+                let g = spec.build();
+                let sched = spec.schedule_source(&g, s);
+                assert_eq!(sched.order.len(), g.num_vertices());
+                assert!(
+                    is_valid_topological_order(&g, &sched.order),
+                    "{acc} S={s}: '{}' not topological",
+                    sched.note
+                );
+                assert!(sched.note.contains("blocked"), "{}", sched.note);
+            }
+        }
     }
 }

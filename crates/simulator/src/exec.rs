@@ -83,6 +83,26 @@ impl SimReport {
 ///   are LRU caches of their configured word capacity.
 ///
 /// Inputs are homed at their owner's node (block-distributed input data).
+///
+/// ```
+/// use dmc_cdag::topo::topological_order;
+/// use dmc_kernels::chains::chain;
+/// use dmc_machine::{Level, MemoryHierarchy};
+/// use dmc_sim::simulate;
+///
+/// let g = chain(10);
+/// let h = MemoryHierarchy::new(vec![
+///     Level::new("L1", 1, 4),
+///     Level::new("mem", 1, u64::MAX),
+/// ])
+/// .unwrap();
+/// let r = simulate(&g, &h, &topological_order(&g), &vec![0; 10]);
+/// // Write-back hierarchy: 1 input fetch + 9 write-backs reach DRAM
+/// // (contrast with `dmc_sim::simulation`, which models the RBW delete
+/// // rule and measures 2).
+/// assert_eq!(r.total_dram_traffic(), 10);
+/// assert_eq!(r.computes_per_proc[0], 9);
+/// ```
 pub fn simulate(
     g: &Cdag,
     h: &MemoryHierarchy,

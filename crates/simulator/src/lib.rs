@@ -14,17 +14,24 @@
 //! * [`exec`] — schedule executor over a [`dmc_machine::MemoryHierarchy`]:
 //!   per-processor level-1 caches, shared intermediate caches, per-node
 //!   memory, remote fetches between nodes;
+//! * [`simulation`] — the single-level RBW-semantics simulator behind the
+//!   empirical-validation pipeline: [`Simulation::run`] measures one
+//!   schedule at one capacity under LRU or Belady (OPT) eviction, and
+//!   [`simulation::sweep`] fans an S-sweep over scoped workers with a
+//!   deterministic index-ordered merge;
 //! * [`schedule`] — schedule & ownership builders: striped/block owners,
 //!   plain and level-order schedules, and the skewed (parallelogram)
 //!   tiling for 1-D Jacobi that realizes the `(2S)^{1/d}` reuse the
 //!   paper's Theorem 10 proves optimal.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod exec;
 pub mod lru;
 pub mod schedule;
+pub mod simulation;
 
 pub use exec::{simulate, SimReport};
 pub use lru::LruCache;
+pub use simulation::{CachePolicy, SimError, Simulation, Trace};

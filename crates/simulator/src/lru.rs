@@ -3,6 +3,26 @@
 //! Implemented as a hash map into an intrusive doubly-linked list over a
 //! slab, so `touch`/`insert`/`evict` are all O(1). Addresses are abstract
 //! `u64` word ids (one CDAG value = one word).
+//!
+//! # Determinism
+//!
+//! Every observable decision is defined by the recency list alone, never
+//! by `HashMap` iteration order (which varies per instance and per
+//! process):
+//!
+//! * **Eviction tie-break:** the victim is always the unique list tail —
+//!   the entry whose last [`LruCache::touch`]/[`LruCache::insert`] is
+//!   oldest. Recency is a strict total order (every operation moves
+//!   exactly one entry to the head), so two entries never tie and the
+//!   victim never depends on hash order.
+//! * **Flush order:** [`LruCache::flush_dirty`] walks the recency list
+//!   from most- to least-recently-used and reports dirty addresses in
+//!   that order.
+//!
+//! Identical operation sequences therefore produce identical eviction and
+//! flush sequences on any instance, in any process — the property the
+//! simulator's reproducible-trace guarantee rests on (regression-tested
+//! below).
 
 use std::collections::HashMap;
 
@@ -17,6 +37,17 @@ struct Node {
 }
 
 /// A fixed-capacity LRU set of words with dirty bits.
+///
+/// ```
+/// use dmc_sim::LruCache;
+///
+/// let mut c = LruCache::new(2);
+/// c.insert(1, false);
+/// c.insert(2, true);
+/// assert!(c.touch(1)); // 1 becomes MRU, 2 is now the unique LRU victim
+/// assert_eq!(c.insert(3, false), Some((2, true)));
+/// assert_eq!(c.flush_dirty(), Vec::<u64>::new()); // 3 and 1 are clean
+/// ```
 pub struct LruCache {
     capacity: usize,
     map: HashMap<u64, u32>,
@@ -102,6 +133,10 @@ impl LruCache {
     /// LRU entry if full. Returns the evicted `(addr, dirty)` if any.
     /// Inserting an already-resident address refreshes recency and ORs the
     /// dirty bit.
+    ///
+    /// The victim is always the unique recency-list tail (see the module
+    /// docs on determinism): recency is a strict total order, so eviction
+    /// never consults — and can never leak — hash-map iteration order.
     pub fn insert(&mut self, addr: u64, dirty: bool) -> Option<(u64, bool)> {
         if let Some(&idx) = self.map.get(&addr) {
             self.slab[idx as usize].dirty |= dirty;
@@ -161,8 +196,10 @@ impl LruCache {
         Some(dirty)
     }
 
-    /// Drains all entries, returning the dirty ones (used at simulation
-    /// end to flush write-backs).
+    /// Drains all entries, returning the dirty ones in most- to
+    /// least-recently-used order (used at simulation end to flush
+    /// write-backs; the order is part of the determinism contract — see
+    /// the module docs).
     pub fn flush_dirty(&mut self) -> Vec<u64> {
         let mut dirty = Vec::new();
         let mut cur = self.head;
@@ -238,6 +275,47 @@ mod tests {
         d.sort_unstable();
         assert_eq!(d, vec![1, 3]);
         assert!(c.is_empty());
+    }
+
+    /// The determinism contract: two independent instances (each with its
+    /// own randomly seeded `HashMap` state) driven by the same operation
+    /// sequence produce identical eviction and flush sequences — the
+    /// victim is defined by the recency list, never by hash order.
+    #[test]
+    fn eviction_and_flush_are_instance_independent() {
+        let ops: Vec<(u64, bool)> = (0..400u64).map(|i| (i * 7919 % 23, i % 3 == 0)).collect();
+        let run = |cache: &mut LruCache| {
+            let mut evicted = Vec::new();
+            for &(addr, dirty) in &ops {
+                if addr % 4 == 0 {
+                    cache.touch(addr);
+                }
+                if let Some(ev) = cache.insert(addr, dirty) {
+                    evicted.push(ev);
+                }
+            }
+            (evicted, cache.flush_dirty())
+        };
+        let baseline = run(&mut LruCache::new(7));
+        for _ in 0..4 {
+            assert_eq!(run(&mut LruCache::new(7)), baseline);
+        }
+        // A cache that already saw unrelated traffic and was drained
+        // behaves identically too.
+        let mut drained = LruCache::new(7);
+        drained.insert(99, true);
+        drained.flush_dirty();
+        assert_eq!(run(&mut drained), baseline);
+    }
+
+    #[test]
+    fn flush_order_is_mru_first() {
+        let mut c = LruCache::new(4);
+        c.insert(1, true);
+        c.insert(2, true);
+        c.insert(3, true);
+        c.touch(1); // recency now 1, 3, 2
+        assert_eq!(c.flush_dirty(), vec![1, 3, 2]);
     }
 
     #[test]

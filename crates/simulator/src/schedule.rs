@@ -35,32 +35,13 @@ pub fn by_level(g: &Cdag) -> Vec<VertexId> {
 /// `n ≫ S`) to `Θ(n·T/S + n)` — the shape Theorem 10 proves optimal.
 pub fn tiled_jacobi_1d(j: &JacobiCdag, tile_width: usize) -> Vec<VertexId> {
     assert_eq!(j.grid.d, 1, "this tiling is for 1-D Jacobi");
-    assert!(tile_width >= 1);
-    let n = j.grid.n;
-    let t_steps = j.timesteps;
-    let w = tile_width;
-    let mut order: Vec<VertexId> = Vec::with_capacity((t_steps + 1) * n);
-    // Cell (t, i) belongs to tile k = ⌊(i + t)/w⌋ — an exact partition.
-    // Dependences of (t, i) point at (t−1, i−1..=i+1), whose tile indices
-    // are ≤ k, with the critical (t−1, i+1) landing in the *same* tile at
-    // an earlier time — so k-ascending, t-ascending emission is valid.
-    let k_max = (n - 1 + t_steps) / w;
-    for k in 0..=k_max {
-        for t in 0..=t_steps {
-            let lo = (k * w) as i64 - t as i64;
-            let hi = (lo + w as i64).clamp(0, n as i64) as usize;
-            let lo = lo.clamp(0, n as i64) as usize;
-            for i in lo..hi {
-                order.push(j.ids[t][i]);
-            }
-        }
-    }
-    debug_assert_eq!(
-        order.len(),
-        (t_steps + 1) * n,
-        "tiling must cover all vertices"
-    );
-    order
+    // The cell order (and its validity argument) lives in
+    // `dmc_kernels::jacobi::skewed_cells_1d`, shared with the catalog's
+    // schedule hook; here the cells map through the built ids.
+    dmc_kernels::jacobi::skewed_cells_1d(j.grid.n, j.timesteps, tile_width)
+        .into_iter()
+        .map(|(t, i)| j.ids[t][i])
+        .collect()
 }
 
 /// Skewed parallelogram tiling for a 2-D Jacobi CDAG (Moore or Von
@@ -74,35 +55,11 @@ pub fn tiled_jacobi_1d(j: &JacobiCdag, tile_width: usize) -> Vec<VertexId> {
 /// emitted in an earlier tile, or in the same tile at an earlier time.
 pub fn tiled_jacobi_2d(j: &JacobiCdag, tile_width: usize) -> Vec<VertexId> {
     assert_eq!(j.grid.d, 2, "this tiling is for 2-D Jacobi");
-    assert!(tile_width >= 1);
-    let n = j.grid.n;
-    let t_steps = j.timesteps;
-    let w = tile_width;
-    let mut order: Vec<VertexId> = Vec::with_capacity((t_steps + 1) * n * n);
-    let k_max = (n - 1 + t_steps) / w;
-    for k1 in 0..=k_max {
-        for k2 in 0..=k_max {
-            for t in 0..=t_steps {
-                let lo_i = (k1 * w) as i64 - t as i64;
-                let hi_i = (lo_i + w as i64).clamp(0, n as i64) as usize;
-                let lo_i = lo_i.clamp(0, n as i64) as usize;
-                let lo_j = (k2 * w) as i64 - t as i64;
-                let hi_j = (lo_j + w as i64).clamp(0, n as i64) as usize;
-                let lo_j = lo_j.clamp(0, n as i64) as usize;
-                for jj in lo_j..hi_j {
-                    for ii in lo_i..hi_i {
-                        order.push(j.ids[t][jj * n + ii]);
-                    }
-                }
-            }
-        }
-    }
-    debug_assert_eq!(
-        order.len(),
-        (t_steps + 1) * n * n,
-        "tiling must cover all vertices"
-    );
-    order
+    // Shared cell order — see `dmc_kernels::jacobi::skewed_cells_2d`.
+    dmc_kernels::jacobi::skewed_cells_2d(j.grid.n, j.timesteps, tile_width)
+        .into_iter()
+        .map(|(t, linear)| j.ids[t][linear])
+        .collect()
 }
 
 /// Round-robin striped ownership over `procs` processors.
