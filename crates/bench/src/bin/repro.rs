@@ -11,6 +11,7 @@
 //! repro analyze --kernel '<spec>' [--sram S] [--threads N] [--format text|json]
 //! repro simulate --kernel '<spec>' [--sram-sweep lo:hi:step] [--policy lru|opt]
 //!                [--threads N] [--format text|json]
+//! repro lint [--format text|json] [--rules d1,d2,...]
 //! ```
 //!
 //! `--threads N` pins the worker count for the wavefront engine and the
@@ -23,7 +24,10 @@
 //! hook on the cache simulator across the S-sweep and sandwiches the
 //! measured I/O between the certified lower and upper bounds (the sweep
 //! defaults to three octaves up from the schedule's minimum feasible S;
-//! `--policy` restricts measurement to one eviction policy).
+//! `--policy` restricts measurement to one eviction policy). `lint` runs
+//! the `dmc-lint` determinism/soundness pass over the workspace sources
+//! (exit 0 clean, 1 on violations, 2 on unused waivers; `--rules`
+//! restricts to a comma-separated rule subset, e.g. `d1,s1`).
 
 use dmc_bench::ReportFormat;
 use dmc_sim::CachePolicy;
@@ -31,11 +35,12 @@ use dmc_sim::CachePolicy;
 fn usage_error(msg: &str) -> ! {
     eprintln!(
         "{msg}; expected one of: table1 sec3 cg gmres \
-         jacobi pebbling mincut analyze catalog simulate list partition parallel figures all \
-         (plus optional --threads N; analyze also takes \
+         jacobi pebbling mincut analyze catalog simulate lint list partition parallel figures \
+         all (plus optional --threads N; analyze also takes \
          <file.cdag> or --kernel '<spec>', --sram S, --format text|json; \
          simulate takes --kernel '<spec>', --sram-sweep lo:hi:step, \
-         --policy lru|opt, --format text|json)"
+         --policy lru|opt, --format text|json; \
+         lint takes --format text|json and --rules d1,d2,d3,s1,s2)"
     );
     std::process::exit(2);
 }
@@ -53,6 +58,7 @@ struct Args {
     format: Option<ReportFormat>,
     sram_sweep: Option<(u64, u64, u64)>,
     policy: Option<CachePolicy>,
+    rules: Option<String>,
 }
 
 fn parse_sweep(raw: &str) -> (u64, u64, u64) {
@@ -73,6 +79,7 @@ fn parse_args(args: &[String]) -> Args {
         format: None,
         sram_sweep: None,
         policy: None,
+        rules: None,
     };
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -126,6 +133,10 @@ fn parse_args(args: &[String]) -> Args {
                     _ => usage_error("--policy must be 'lru' or 'opt'"),
                 });
             }
+            "--rules" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--rules"));
+                parsed.rules = Some(v);
+            }
             _ if a.starts_with('-') => usage_error(&format!("unknown flag '{a}'")),
             _ if parsed.experiment.is_none() => parsed.experiment = Some(a.clone()),
             _ if parsed.experiment.as_deref() == Some("analyze") && parsed.file.is_none() => {
@@ -136,6 +147,34 @@ fn parse_args(args: &[String]) -> Args {
         i += 1;
     }
     parsed
+}
+
+/// Runs the `dmc-lint` static-analysis pass over the enclosing workspace
+/// and exits with the report's exit code (0 clean, 1 violations, 2 unused
+/// waivers). The workspace root is located by walking up from the current
+/// directory, so `repro lint` works from any subdirectory of the repo.
+fn run_lint(rules: Option<&str>, format: ReportFormat) -> ! {
+    let cwd = std::env::current_dir().unwrap_or_else(|e| {
+        eprintln!("cannot determine current directory: {e}");
+        std::process::exit(2);
+    });
+    let root = dmc_lint::find_workspace_root(&cwd).unwrap_or_else(|| {
+        eprintln!("no Cargo workspace found above {}", cwd.display());
+        std::process::exit(2);
+    });
+    match dmc_lint::lint_workspace(&root, rules) {
+        Ok(report) => {
+            match format {
+                ReportFormat::Text => print!("{}", report.render_text()),
+                ReportFormat::Json => println!("{}", serde::json::to_string(&report)),
+            }
+            std::process::exit(report.exit_code());
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -160,10 +199,15 @@ fn main() {
     if args.sram.is_some() && !analyzing_input {
         usage_error("--sram only applies to 'analyze <file.cdag>' or 'analyze --kernel'");
     }
-    if args.format.is_some() && !(analyzing_input || simulating) {
+    let linting = arg == "lint";
+    if args.format.is_some() && !(analyzing_input || simulating || linting) {
         usage_error(
-            "--format only applies to 'analyze <file.cdag>', 'analyze --kernel', and 'simulate'",
+            "--format only applies to 'analyze <file.cdag>', 'analyze --kernel', \
+             'simulate', and 'lint'",
         );
+    }
+    if args.rules.is_some() && !linting {
+        usage_error("--rules only applies to 'lint'");
     }
     if (args.sram_sweep.is_some() || args.policy.is_some()) && !simulating {
         usage_error("--sram-sweep and --policy only apply to 'simulate'");
@@ -179,6 +223,15 @@ fn main() {
         );
     }
     let threads = args.threads.unwrap_or(0);
+    if linting {
+        // `lint` owns the process exit code (0 clean / 1 violations /
+        // 2 stale waivers), so it never falls through to the generic
+        // experiment dispatcher below.
+        run_lint(
+            args.rules.as_deref(),
+            args.format.unwrap_or(ReportFormat::Text),
+        );
+    }
     let out = match arg.as_str() {
         "table1" => dmc_bench::table1(),
         "sec3" => dmc_bench::sec3_composite(&[2, 4, 8]),
@@ -208,7 +261,11 @@ fn main() {
         "catalog" => dmc_bench::catalog_experiment_with(threads),
         "simulate" => {
             let format = args.format.unwrap_or(ReportFormat::Text);
-            let spec = args.kernel.as_deref().expect("checked above");
+            // Checked above, but routed through the usage error rather
+            // than a panic so the path stays panic-free (lint rule S1).
+            let Some(spec) = args.kernel.as_deref() else {
+                usage_error("simulate needs --kernel '<spec>' (see `repro list`)");
+            };
             dmc_bench::simulate_kernel_spec(spec, args.sram_sweep, args.policy, threads, format)
                 .unwrap_or_else(|e| {
                     eprintln!("{e}");

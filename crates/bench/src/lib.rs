@@ -5,6 +5,8 @@
 //! formatted table so the `repro` binary and the criterion benches share
 //! the exact same code paths.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 
 pub use experiments::*;

@@ -162,6 +162,7 @@ pub fn min_wavefront(g: &Cdag, x: VertexId) -> MinWavefront {
             sinks_cuttable: false,
         },
     )
+    // dmc-lint: allow(s1) -- the flow network always admits a finite cut because every source vertex is cuttable by construction; pinned by cut property tests
     .expect("cut always exists when all source vertices are cuttable");
     MinWavefront {
         anchor: x,

@@ -95,6 +95,7 @@ impl AnchorScratch {
             },
             &mut self.net,
         )
+        // dmc-lint: allow(s1) -- same invariant as cut.rs: all source vertices cuttable, so the anchored min cut exists; pinned by engine-vs-serial tests
         .expect("cut always exists when all source vertices are cuttable");
         MinWavefront {
             anchor: x,
@@ -241,6 +242,7 @@ impl<'g> WavefrontEngine<'g> {
         let locals: Vec<Option<(usize, MinWavefront)>> = if threads == 1 {
             vec![self.worker(anchors, &sched, &next, &best_size, &evaluated)]
         } else {
+            // dmc-lint: allow(s2) -- workers share the pruning atomic (best_size), which fan_out_indexed cannot express; the merge below is a max over unique (size, position) keys, so it is scheduling-independent, and `engine_matches_serial_on_diamond_and_lumpy` pins it
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
@@ -249,6 +251,7 @@ impl<'g> WavefrontEngine<'g> {
                     .collect();
                 handles
                     .into_iter()
+                    // dmc-lint: allow(s1) -- a worker panic is a bug in the engine itself; re-raising it on the caller thread is the only sound handling
                     .map(|h| h.join().expect("wavefront worker panicked"))
                     .collect()
             })

@@ -50,6 +50,7 @@ where
         return (0..count).map(|i| work(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
+    // dmc-lint: allow(s2) -- this IS the blessed fan-out the rule routes everyone through; the sort_by_key below merges in index order
     let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -69,6 +70,7 @@ where
             .collect();
         handles
             .into_iter()
+            // dmc-lint: allow(s1) -- join fails only if a worker panicked; re-raising the panic on the caller thread is the contract
             .flat_map(|h| h.join().expect("fan-out worker panicked"))
             .collect()
     });

@@ -224,6 +224,7 @@ impl FlowNetwork {
                     self.path = path;
                     return 0;
                 }
+                // dmc-lint: allow(s1) -- retreat only runs while the DFS path is non-empty (loop guard above); an empty pop is unreachable
                 let a = path.pop().expect("retreat with non-empty path");
                 let parent = self.to[(a ^ 1) as usize] as usize;
                 // Exhausted this arc from the parent: advance its iterator.

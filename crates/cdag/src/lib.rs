@@ -36,6 +36,7 @@
 //! * induced sub-CDAGs and quotient graphs for decomposition ([`subgraph`]),
 //! * Graphviz DOT export ([`dot`]).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -58,9 +58,7 @@ pub fn induce(g: &Cdag, verts: &BitSet) -> InducedSubCdag {
             }
         }
     }
-    let cdag = b
-        .build()
-        .expect("induced subgraph of a DAG is a DAG with source inputs");
+    let cdag = b.build_valid("induced subgraph of a DAG is a DAG with source inputs");
     InducedSubCdag { cdag, to_parent }
 }
 
@@ -131,9 +129,15 @@ impl QuotientGraph {
 
     /// `true` if two blocks have edges in both directions — the "circuit
     /// between subsets" forbidden by condition P2 of Definitions 3 and 5.
+    ///
+    /// Membership of the reversed edge is checked by binary search:
+    /// [`QuotientGraph::new`] sorts and deduplicates `edges`, so the list
+    /// is its own ordered index (lint rule D1 — no hash set needed).
     pub fn has_pairwise_circuit(&self) -> bool {
-        let set: std::collections::HashSet<(usize, usize)> = self.edges.iter().copied().collect();
-        self.edges.iter().any(|&(a, b)| set.contains(&(b, a)))
+        debug_assert!(self.edges.windows(2).all(|w| w[0] < w[1]), "edges sorted");
+        self.edges
+            .iter()
+            .any(|&(a, b)| self.edges.binary_search(&(b, a)).is_ok())
     }
 
     /// `true` if the quotient digraph is acyclic (strictly stronger than
@@ -251,6 +255,27 @@ mod tests {
         let g = b.build().unwrap();
         let set = BitSet::from_indices(2, [1]);
         assert!(output_set(&g, &set).is_empty());
+    }
+
+    /// Regression for the HashSet→binary-search conversion in
+    /// `has_pairwise_circuit` (lint rule D1): a reversed pair anywhere in
+    /// a long sorted edge list is found, and near-misses are not.
+    #[test]
+    fn pairwise_circuit_found_by_binary_search() {
+        let chain: Vec<(usize, usize)> = (0..50).map(|i| (i, i + 1)).collect();
+        let acyclic = QuotientGraph {
+            num_blocks: 51,
+            edges: chain.clone(),
+        };
+        assert!(!acyclic.has_pairwise_circuit());
+        let mut edges = chain;
+        edges.push((37, 36)); // reverse one deep-in-the-list edge
+        edges.sort_unstable();
+        let cyclic = QuotientGraph {
+            num_blocks: 51,
+            edges,
+        };
+        assert!(cyclic.has_pairwise_circuit());
     }
 
     #[test]

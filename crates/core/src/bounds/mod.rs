@@ -86,6 +86,7 @@ pub struct Provenance {
 
 /// A certified I/O bound with provenance.
 #[derive(Debug, Clone)]
+#[must_use = "a certified bound is evidence; dropping it silently discards the certificate"]
 pub struct IoBound {
     /// The bound value, in words moved.
     pub value: f64,

@@ -275,10 +275,12 @@ impl Simulator<'_> {
             EvictionPolicy::Lru => candidates
                 .into_iter()
                 .min_by_key(|u| self.last_touch[u.index()])
+                // dmc-lint: allow(s1) -- the candidate list was just checked non-empty by the feasibility gate above
                 .expect("non-empty"),
             EvictionPolicy::Fifo => candidates
                 .into_iter()
                 .min_by_key(|u| self.arrival[u.index()])
+                // dmc-lint: allow(s1) -- the candidate list was just checked non-empty by the feasibility gate above
                 .expect("non-empty"),
             EvictionPolicy::Belady => {
                 // Furthest next use; dead values are infinitely far.
@@ -293,6 +295,7 @@ impl Simulator<'_> {
                             us[c]
                         }
                     })
+                    // dmc-lint: allow(s1) -- max over the non-empty eviction candidates computed above
                     .expect("non-empty")
             }
         }
@@ -316,6 +319,7 @@ impl Simulator<'_> {
             .resident
             .iter()
             .position(|&x| x == u)
+            // dmc-lint: allow(s1) -- victim was drawn from the resident list two lines up; absence is a bookkeeping bug
             .expect("resident list consistent");
         self.resident.swap_remove(idx);
     }
@@ -331,7 +335,9 @@ pub fn certified_upper_bound(
 ) -> Result<u64, ExecError> {
     let game = execute_rbw(g, s, schedule, policy)?;
     let io = super::rbw::validate(g, s, &game.trace)
+        // dmc-lint: allow(s1) -- the executor emits rule-respecting moves by construction; an invalid game is an executor bug worth crashing loudly on, pinned by executor-vs-validator tests
         .map_err(|e: GameError| panic!("executor produced invalid game: {e}"))
+        // dmc-lint: allow(s1) -- unreachable companion of the map_err panic above: the Err arm diverges
         .expect("validated");
     Ok(io)
 }

@@ -9,7 +9,7 @@
 
 use dmc_cdag::Cdag;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 const MAX_N: usize = 24;
 
@@ -22,7 +22,7 @@ pub enum GameKind {
     Rbw,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct State {
     red: u32,
     blue: u32,
@@ -74,7 +74,11 @@ pub fn optimal_io(g: &Cdag, s: usize, kind: GameKind) -> Option<u64> {
             }
     };
 
-    let mut dist: HashMap<State, u64> = HashMap::new();
+    // BTreeMap keyed by the packed (red, blue, white) state: lookup-only
+    // here, but a sorted map keeps the search structure free of hash
+    // iteration order by construction (lint rule D1) — the state spaces
+    // this exact solver accepts (≤ 24 vertices) never notice the log.
+    let mut dist: BTreeMap<State, u64> = BTreeMap::new();
     let mut heap: BinaryHeap<Reverse<(u64, u32, u32, u32)>> = BinaryHeap::new();
     dist.insert(start, 0);
     heap.push(Reverse((0, start.red, start.blue, start.white)));
@@ -90,7 +94,7 @@ pub fn optimal_io(g: &Cdag, s: usize, kind: GameKind) -> Option<u64> {
         let red_count = red.count_ones() as usize;
         let push = |nst: State,
                     nd: u64,
-                    dist: &mut HashMap<State, u64>,
+                    dist: &mut BTreeMap<State, u64>,
                     heap: &mut BinaryHeap<Reverse<(u64, u32, u32, u32)>>| {
             let best = dist.entry(nst).or_insert(u64::MAX);
             if nd < *best {

@@ -32,6 +32,7 @@
 //!   measured I/O sandwiched per `S` between the pipeline's certified
 //!   lower bound and the RBW executor's certified upper bound.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

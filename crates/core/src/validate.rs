@@ -147,6 +147,7 @@ impl Serialize for ValidationPoint {
 /// sweep point, sandwiched between the certified lower and upper bounds.
 /// Produced by [`Analyzer::validate_spec`] / [`Analyzer::validate_kernel`].
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "validation verdicts must be inspected, not dropped"]
 pub struct ValidationReport {
     /// Canonical spec string of the validated kernel.
     pub spec: String,
@@ -367,12 +368,14 @@ impl Analyzer {
         if want(CachePolicy::Opt) {
             point.measured_opt = Some(
                 sim.run(g, &sched.order, CachePolicy::Opt, s)
+                    // dmc-lint: allow(s1) -- feasibility of this S was established by the pre-check above before the schedule replay
                     .expect("feasibility pre-checked"),
             );
         }
         if want(CachePolicy::Lru) {
             point.measured_lru = Some(
                 sim.run(g, &sched.order, CachePolicy::Lru, s)
+                    // dmc-lint: allow(s1) -- feasibility of this S was established by the pre-check above before the schedule replay
                     .expect("feasibility pre-checked"),
             );
         }

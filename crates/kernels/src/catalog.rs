@@ -206,12 +206,14 @@ impl ParamValues {
     pub fn uint(&self, name: &str) -> u64 {
         match self.get(name) {
             Some(ParamValue::UInt(v)) => v,
+            // dmc-lint: allow(s1) -- documented accessor contract: factories only request parameters their own signature declares; a miss is a kernel-definition bug
             other => panic!("no uint parameter '{name}' (found {other:?})"),
         }
     }
 
     /// [`ParamValues::uint`] narrowed to `usize` (the builders' type).
     pub fn usize(&self, name: &str) -> usize {
+        // dmc-lint: allow(s1) -- parameter magnitudes are validated against declared ranges at parse time, far below usize::MAX
         usize::try_from(self.uint(name)).expect("parameter exceeds usize")
     }
 
@@ -219,6 +221,7 @@ impl ParamValues {
     pub fn choice(&self, name: &str) -> &'static str {
         match self.get(name) {
             Some(ParamValue::Choice(c)) => c,
+            // dmc-lint: allow(s1) -- documented accessor contract: factories only request parameters their own signature declares; a miss is a kernel-definition bug
             other => panic!("no choice parameter '{name}' (found {other:?})"),
         }
     }
@@ -704,6 +707,7 @@ impl Registry {
                         .0
                         .iter_mut()
                         .find(|(n, _)| *n == pspec.name)
+                        // dmc-lint: allow(s1) -- registry self-consistency: every declared param carries a default, checked for all kernels by catalog tests
                         .expect("defaults cover every declared param");
                     slot.1 = value;
                 }

@@ -94,7 +94,7 @@ pub fn cg_cdag(n: usize, d: usize, t: usize, stencil: Stencil) -> CgCdag {
     for &v in &x {
         b.tag_output(v);
     }
-    let cdag = b.build().expect("CG CDAG is acyclic");
+    let cdag = b.build_valid("CG CDAG is acyclic");
     CgCdag {
         cdag,
         marks,
@@ -154,6 +154,7 @@ impl Kernel for CgKernel {
     }
 
     fn build(&self, p: &ParamValues) -> Cdag {
+        // dmc-lint: allow(s1) -- the choice value was validated against the stencil enum by the catalog parser before the factory runs
         let stencil = Stencil::from_choice(p.choice("stencil")).expect("validated choice");
         cg_cdag(p.usize("n"), p.usize("d"), p.usize("t"), stencil).cdag
     }

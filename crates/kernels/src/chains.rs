@@ -15,7 +15,7 @@ pub fn chain(k: usize) -> Cdag {
         prev = b.add_op(format!("x{i}"), &[prev]);
     }
     b.tag_output(prev);
-    b.build().expect("chain is acyclic")
+    b.build_valid("chain is acyclic")
 }
 
 /// The 4-vertex diamond `a → {b, c} → d`.
@@ -26,7 +26,7 @@ pub fn diamond() -> Cdag {
     let y = b.add_op("c", &[a]);
     let d = b.add_op("d", &[x, y]);
     b.tag_output(d);
-    b.build().expect("diamond is acyclic")
+    b.build_valid("diamond is acyclic")
 }
 
 /// A complete binary reduction tree over `leaves` inputs (`leaves` must be
@@ -45,7 +45,7 @@ pub fn binary_reduction(leaves: usize) -> Cdag {
             .collect();
     }
     b.tag_output(frontier[0]);
-    b.build().expect("reduction tree is acyclic")
+    b.build_valid("reduction tree is acyclic")
 }
 
 /// `k` completely independent chains of length `len` — the canonical case
@@ -60,7 +60,7 @@ pub fn independent_chains(k: usize, len: usize) -> Cdag {
         }
         b.tag_output(prev);
     }
-    b.build().expect("chains are acyclic")
+    b.build_valid("chains are acyclic")
 }
 
 /// A 2-D dependence ladder of width `w` and height `h`: vertex `(i, j)`
@@ -88,7 +88,7 @@ pub fn ladder(w: usize, h: usize) -> Cdag {
         }
     }
     b.tag_output(ids[w * h - 1]);
-    b.build().expect("ladder is acyclic")
+    b.build_valid("ladder is acyclic")
 }
 
 /// The "shared value" two-stage graph used to demonstrate why sub-DAG
@@ -100,7 +100,7 @@ pub fn two_stage(m: usize) -> Cdag {
     let stage1: Vec<VertexId> = (0..m).map(|i| b.add_op(format!("f{i}"), &[x])).collect();
     let out = b.add_op("g", &stage1);
     b.tag_output(out);
-    b.build().expect("two-stage is acyclic")
+    b.build_valid("two-stage is acyclic")
 }
 
 /// Catalog entry for [`chain`]: `chain(k)`.

@@ -56,7 +56,7 @@ pub fn composite(n: usize) -> Cdag {
     }
     let sum = reduce_tree(&mut b, &c, "sum");
     b.tag_output(sum);
-    b.build().expect("composite is acyclic")
+    b.build_valid("composite is acyclic")
 }
 
 /// The paper's achievable I/O for the composite computation: `4N + 1`

@@ -29,7 +29,7 @@ pub fn fft(n: usize) -> Cdag {
     for &v in &prev {
         b.tag_output(v);
     }
-    b.build().expect("FFT butterfly is acyclic")
+    b.build_valid("FFT butterfly is acyclic")
 }
 
 /// The Hong–Kung style asymptotic I/O lower bound for the `n`-point FFT

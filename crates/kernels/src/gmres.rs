@@ -55,6 +55,7 @@ pub fn gmres_cdag(n: usize, d: usize, m: usize, stencil: Stencil) -> GmresCdag {
     let mut marks = Vec::with_capacity(m);
 
     for it in 0..m {
+        // dmc-lint: allow(s1) -- basis starts with v0 and only grows inside the loop
         let vi = basis.last().expect("basis non-empty").clone();
         // 1. w = A v_i.
         let mut w: Vec<VertexId> = (0..npts)
@@ -76,6 +77,7 @@ pub fn gmres_cdag(n: usize, d: usize, m: usize, stencil: Stencil) -> GmresCdag {
                 .map(|(i, (&wi, &vji))| b.add_op(format!("w{it}_{j}_{i}"), &[wi, h, vji]))
                 .collect();
         }
+        // dmc-lint: allow(s1) -- the m >= 1 range check at parse time guarantees the loop ran at least once
         let upsilon_x = last_h.expect("m >= 1 so at least one h");
         // 4. h_{i+1,i} = ||w||.
         let norm = dot(&mut b, &w, &w, &format!("nrm{it}"));
@@ -87,10 +89,11 @@ pub fn gmres_cdag(n: usize, d: usize, m: usize, stencil: Stencil) -> GmresCdag {
             upsilon_y: norm,
         });
     }
+    // dmc-lint: allow(s1) -- basis starts with v0 and only grows inside the loop
     for &vtx in basis.last().expect("non-empty") {
         b.tag_output(vtx);
     }
-    let cdag = b.build().expect("GMRES CDAG is acyclic");
+    let cdag = b.build_valid("GMRES CDAG is acyclic");
     GmresCdag {
         cdag,
         marks,
@@ -153,6 +156,7 @@ impl Kernel for GmresKernel {
     }
 
     fn build(&self, p: &ParamValues) -> Cdag {
+        // dmc-lint: allow(s1) -- the choice value was validated against the stencil enum by the catalog parser before the factory runs
         let stencil = Stencil::from_choice(p.choice("stencil")).expect("validated choice");
         gmres_cdag(p.usize("n"), p.usize("d"), p.usize("m"), stencil).cdag
     }

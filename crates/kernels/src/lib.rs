@@ -31,6 +31,7 @@
 //! FFT); the `dmc-sim` simulator and `dmc-core`'s empirical-validation
 //! pipeline execute these orders.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

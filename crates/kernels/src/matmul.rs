@@ -34,7 +34,7 @@ pub fn matmul(n: usize) -> Cdag {
             b.tag_output(c);
         }
     }
-    b.build().expect("matmul is acyclic")
+    b.build_valid("matmul is acyclic")
 }
 
 /// Builds the matmul CDAG with *sequential* (chain) accumulation instead of
@@ -59,10 +59,11 @@ pub fn matmul_chain_accumulate(n: usize) -> Cdag {
                     Some(prev) => b.add_op(format!("s{i}_{j}_{k}"), &[prev, m]),
                 });
             }
+            // dmc-lint: allow(s1) -- the inner reduction loop runs n >= 1 times (asserted at entry), so acc is Some
             b.tag_output(acc.expect("n >= 1"));
         }
     }
-    b.build().expect("matmul is acyclic")
+    b.build_valid("matmul is acyclic")
 }
 
 /// The asymptotic sequential I/O lower bound for `n×n` matmul with `s` fast

@@ -20,7 +20,7 @@ pub fn outer_product(n: usize) -> Cdag {
             b.tag_output(a);
         }
     }
-    b.build().expect("outer product is acyclic")
+    b.build_valid("outer product is acyclic")
 }
 
 /// The exact I/O cost of the outer product under the RBW game with

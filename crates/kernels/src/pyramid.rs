@@ -28,7 +28,7 @@ pub fn pyramid(r: usize, h: usize) -> Cdag {
     }
     debug_assert_eq!(prev.len(), 1);
     b.tag_output(prev[0]);
-    b.build().expect("pyramid is acyclic")
+    b.build_valid("pyramid is acyclic")
 }
 
 /// Ranjan–Savage–Zubair style I/O lower bound for pebbling an r-pyramid of

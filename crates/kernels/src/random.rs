@@ -59,13 +59,13 @@ pub fn random_layered(cfg: RandomDagConfig) -> Cdag {
         prev = cur;
     }
     // Tag all sinks as outputs (Hong–Kung form).
-    let snapshot = b.clone().build().expect("layered graph is acyclic");
+    let snapshot = b.clone().build_valid("layered graph is acyclic");
     for v in snapshot.vertices() {
         if snapshot.out_degree(v) == 0 && !snapshot.is_input(v) {
             b.tag_output(v);
         }
     }
-    b.build().expect("layered graph is acyclic")
+    b.build_valid("layered graph is acyclic")
 }
 
 /// Catalog entry for the random layered DAG generator:

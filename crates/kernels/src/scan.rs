@@ -22,7 +22,7 @@ pub fn sequential_scan(n: usize) -> Cdag {
         acc = b.add_op(format!("s{i}"), &[acc, x]);
         b.tag_output(acc);
     }
-    b.build().expect("scan chain is acyclic")
+    b.build_valid("scan chain is acyclic")
 }
 
 /// Sklansky's minimum-depth inclusive scan over `n = 2^k` inputs:
@@ -47,7 +47,7 @@ pub fn sklansky_scan(n: usize) -> Cdag {
     for &v in &cur {
         b.tag_output(v);
     }
-    b.build().expect("Sklansky network is acyclic")
+    b.build_valid("Sklansky network is acyclic")
 }
 
 /// Catalog entry for the prefix-sum networks: `scan(n,kind)` builds

@@ -82,7 +82,7 @@ pub fn dot_product_cdag(n: usize) -> Cdag {
     let y: Vec<VertexId> = (0..n).map(|i| b.add_input(format!("y{i}"))).collect();
     let r = dot(&mut b, &x, &y, "xy");
     b.tag_output(r);
-    b.build().expect("dot product is acyclic")
+    b.build_valid("dot product is acyclic")
 }
 
 /// A standalone saxpy CDAG `z = x + s·y` over inputs of length `n`.
@@ -95,7 +95,7 @@ pub fn saxpy_cdag(n: usize) -> Cdag {
     for v in z {
         b.tag_output(v);
     }
-    b.build().expect("saxpy is acyclic")
+    b.build_valid("saxpy is acyclic")
 }
 
 /// Catalog entry for the standalone dot product: `dot(n)` builds

@@ -1,0 +1,318 @@
+//! The lint driver: file discovery, rule dispatch, waiver matching, and
+//! unused-waiver accounting.
+//!
+//! # Scope
+//!
+//! The pass enforces the determinism contract on **library code**: the
+//! facade `src/` tree and every `crates/*/src/` tree (binaries under
+//! `src/bin/` included). Integration tests, benches, and examples are
+//! exempt wholesale — they neither feed reports nor run in production —
+//! as are `#[cfg(test)]` regions inside library files. The `vendor/`
+//! stand-ins are skipped (they mirror crates.io APIs verbatim), along
+//! with `target/` and this crate's own `tests/fixtures/` corpus of
+//! deliberate violations.
+
+use crate::report::{LintReport, Severity, UnusedWaiver, Violation};
+use crate::rules::{all_rules, is_known_rule, Rule};
+use crate::source::SourceFile;
+use std::path::Path;
+
+/// Errors from [`lint_workspace`].
+#[derive(Debug)]
+pub enum LintError {
+    /// A requested rule id does not exist.
+    UnknownRule(String),
+    /// Filesystem trouble while walking or reading sources.
+    Io(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::UnknownRule(r) => write!(
+                f,
+                "unknown rule '{r}'; known rules: d1 d2 d3 s1 s2 (see `repro lint` docs)"
+            ),
+            LintError::Io(e) => write!(f, "lint I/O error: {e}"),
+        }
+    }
+}
+
+/// Selects the rules to run from a comma-separated filter (`"d1,s2"`);
+/// `None` runs everything.
+fn select_rules(filter: Option<&str>) -> Result<Vec<Box<dyn Rule>>, LintError> {
+    let rules = all_rules();
+    let Some(filter) = filter else {
+        return Ok(rules);
+    };
+    let wanted: Vec<String> = filter
+        .split(',')
+        .map(|s| s.trim().to_ascii_uppercase())
+        .filter(|s| !s.is_empty())
+        .collect();
+    for w in &wanted {
+        if !is_known_rule(w) {
+            return Err(LintError::UnknownRule(w.clone()));
+        }
+    }
+    Ok(rules
+        .into_iter()
+        .filter(|r| wanted.iter().any(|w| w == r.id()))
+        .collect())
+}
+
+/// Lints one source string against `rules`, resolving waivers.
+///
+/// Returns the un-waived violations, the number of waivers honored, and
+/// the unused waivers. This is the per-file kernel behind
+/// [`lint_workspace`]; the golden-fixture tests drive it directly.
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    rules: &[Box<dyn Rule>],
+) -> (Vec<Violation>, usize, Vec<UnusedWaiver>) {
+    let file = SourceFile::parse(rel_path, source);
+    let mut raw: Vec<Violation> = Vec::new();
+    for rule in rules {
+        rule.check(&file, &mut raw);
+    }
+    // Malformed waivers are violations in their own right (pseudo-rule
+    // W0) — a waiver that does not parse must not silently suppress.
+    for bad in &file.bad_waivers {
+        raw.push(Violation {
+            file: file.rel_path.clone(),
+            line: bad.line,
+            col: 1,
+            rule: "W0".to_string(),
+            severity: Severity::Deny,
+            message: format!(
+                "malformed dmc-lint waiver ({}); syntax: \
+                 `// dmc-lint: allow(<rules>) -- <justification>`",
+                bad.reason
+            ),
+        });
+    }
+    // Unknown rule ids inside otherwise well-formed waivers are W0 too:
+    // a typo like allow(d9) must not count as coverage.
+    for w in &file.waivers {
+        for r in &w.rules {
+            if !is_known_rule(r) {
+                raw.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: w.line,
+                    col: 1,
+                    rule: "W0".to_string(),
+                    severity: Severity::Deny,
+                    message: format!("waiver names unknown rule '{r}'"),
+                });
+            }
+        }
+    }
+    // Match violations to waivers. A waiver is honored if it suppressed
+    // at least one violation of a rule it names; unused-ness is only
+    // meaningful for rules that actually ran (a d1 waiver is not "stale"
+    // under `--rules s1`).
+    let active: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+    let mut used = vec![false; file.waivers.len()];
+    let mut violations = Vec::new();
+    for v in raw {
+        let waived = file.waivers.iter().enumerate().find(|(_, w)| {
+            v.rule != "W0" && w.covers_line == v.line && w.rules.iter().any(|r| r == &v.rule)
+        });
+        match waived {
+            Some((i, _)) => used[i] = true,
+            None => violations.push(v),
+        }
+    }
+    let mut unused = Vec::new();
+    for (i, w) in file.waivers.iter().enumerate() {
+        let relevant = w.rules.iter().any(|r| active.iter().any(|a| a == r));
+        if !used[i] && relevant {
+            unused.push(UnusedWaiver {
+                file: file.rel_path.clone(),
+                line: w.line,
+                rules: w.rules.clone(),
+            });
+        }
+    }
+    (violations, used.iter().filter(|u| **u).count(), unused)
+}
+
+/// `true` for the library-source files the contract covers.
+fn in_scope(rel: &str) -> bool {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    // Vendored API stand-ins, build products, and the deliberate-violation
+    // fixture corpus are out of scope.
+    if rel.starts_with("vendor/") || rel.starts_with("target/") || rel.contains("/fixtures/") {
+        return false;
+    }
+    // Library trees only: `src/…` and `crates/<name>/src/…`.
+    rel.starts_with("src/") || (rel.starts_with("crates/") && rel.split('/').nth(2) == Some("src"))
+}
+
+/// Recursively collects in-scope `.rs` files under `root`, sorted by
+/// relative path for deterministic report order.
+fn collect_files(root: &Path) -> Result<Vec<String>, LintError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| LintError::Io(format!("{}: {e}", dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| LintError::Io(e.to_string()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') {
+                continue;
+            }
+            if path.is_dir() {
+                // Prune the big out-of-scope trees instead of walking them.
+                if name == "target" || name == "vendor" {
+                    continue;
+                }
+                stack.push(path);
+            } else if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel.to_string_lossy().replace('\\', "/");
+                if in_scope(&rel) {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs the lint pass over the workspace rooted at `root`.
+///
+/// `rules_filter` is the CLI's `--rules` value (comma-separated ids,
+/// case-insensitive); `None` runs the full catalog. The returned report
+/// is fully deterministic: files are visited in sorted order and
+/// violations are canonically sorted.
+///
+/// ```
+/// let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+/// let report = dmc_lint::lint_workspace(&root, None).unwrap();
+/// assert!(report.files_scanned > 0);
+/// ```
+pub fn lint_workspace(root: &Path, rules_filter: Option<&str>) -> Result<LintReport, LintError> {
+    let rules = select_rules(rules_filter)?;
+    let mut report = LintReport {
+        rules_run: rules.iter().map(|r| r.id().to_string()).collect(),
+        ..LintReport::default()
+    };
+    for rel in collect_files(root)? {
+        let path = root.join(&rel);
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| LintError::Io(format!("{}: {e}", path.display())))?;
+        let (violations, used, unused) = lint_source(&rel, &source, &rules);
+        report.files_scanned += 1;
+        report.violations.extend(violations);
+        report.waivers_used += used;
+        report.unused_waivers.extend(unused);
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]` — how `repro lint` finds its scan root without
+/// a flag.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> Vec<Box<dyn Rule>> {
+        all_rules()
+    }
+
+    #[test]
+    fn waiver_suppresses_same_line_violation() {
+        let src = "fn f(o: Option<u8>) { o.unwrap(); } // dmc-lint: allow(s1) -- test invariant\n";
+        let (v, used, unused) = lint_source("a.rs", src, &rules());
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(used, 1);
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_line_only() {
+        let src = "// dmc-lint: allow(s1) -- covered\nfn f(o: Option<u8>) { o.unwrap(); }\n\
+                   fn g(o: Option<u8>) { o.unwrap(); }\n";
+        let (v, used, _) = lint_source("a.rs", src, &rules());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(o: Option<u8>) { o.unwrap(); } // dmc-lint: allow(d1) -- wrong rule\n";
+        let (v, used, unused) = lint_source("a.rs", src, &rules());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "S1");
+        assert_eq!(used, 0);
+        assert_eq!(unused.len(), 1);
+    }
+
+    #[test]
+    fn malformed_and_unknown_rule_waivers_are_w0() {
+        let src = "// dmc-lint: allow(s1)\nfn a() {}\n// dmc-lint: allow(d9) -- typo\nfn b() {}\n";
+        let (v, _, _) = lint_source("a.rs", src, &rules());
+        let w0: Vec<_> = v.iter().filter(|v| v.rule == "W0").collect();
+        assert_eq!(w0.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn rules_filter_limits_scope_and_unused_accounting() {
+        let src = "fn f(m: &std::collections::HashMap<u8, u8>) { m.len(); }\n\
+                   fn g(o: Option<u8>) { o.unwrap(); } // dmc-lint: allow(s1) -- inert under d1\n";
+        let only_d1 = select_rules(Some("d1")).unwrap();
+        let (v, used, unused) = lint_source("a.rs", src, &only_d1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D1");
+        // The s1 waiver neither fires nor counts as stale when S1 is off.
+        assert_eq!(used, 0);
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_filter_is_an_error() {
+        assert!(matches!(
+            select_rules(Some("d1,zz")),
+            Err(LintError::UnknownRule(_))
+        ));
+    }
+
+    #[test]
+    fn scope_covers_library_trees_only() {
+        assert!(in_scope("src/lib.rs"));
+        assert!(in_scope("crates/cdag/src/engine.rs"));
+        assert!(in_scope("crates/bench/src/bin/repro.rs"));
+        assert!(!in_scope("crates/cdag/tests/proptests.rs"));
+        assert!(!in_scope("crates/bench/benches/mincut.rs"));
+        assert!(!in_scope("examples/quickstart.rs"));
+        assert!(!in_scope("tests/pipeline.rs"));
+        assert!(!in_scope("vendor/serde/src/lib.rs"));
+        assert!(!in_scope("crates/lint/tests/fixtures/s1_positive.rs"));
+        assert!(!in_scope("README.md"));
+    }
+}

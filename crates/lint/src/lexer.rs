@@ -1,0 +1,411 @@
+//! A lossless, line/column-tracked lexer for Rust source text.
+//!
+//! The lexer is *total*: any byte sequence tokenizes without panicking,
+//! unknown characters become one-character [`TokenKind::Punct`] tokens,
+//! and unterminated literals/comments swallow the rest of the file as a
+//! single token. Because no character is ever dropped or normalized,
+//! concatenating the token texts reproduces the input exactly —
+//! [`render`]`(`[`tokenize`]`(src)) == src` for **every** input, which is
+//! property-tested in `tests/lexer_roundtrip.rs`.
+//!
+//! This is deliberately not a parser (no `syn`, consistent with the
+//! workspace's no-registry vendoring policy): rules pattern-match on the
+//! token stream. The kinds below are exactly what the rule engine needs —
+//! comments and string/char literals are first-class tokens so that rule
+//! patterns can never fire inside them, and doc-comment examples (which
+//! lex as comments) are exempt for free.
+
+/// Classification of one lexeme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// `// ...` through end of line, including `///` and `//!` doc forms.
+    LineComment,
+    /// `/* ... */`, nested; unterminated comments extend to EOF.
+    BlockComment,
+    /// Identifiers and keywords (including raw `r#ident` forms).
+    Ident,
+    /// A lifetime or loop label such as `'a` (distinguished from char
+    /// literals by the absence of a closing quote).
+    Lifetime,
+    /// Integer and float literals, including exponents and suffixes.
+    Number,
+    /// String literals: `"…"`, raw `r"…"`/`r#"…"#`, and byte forms.
+    Str,
+    /// Character and byte-character literals: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation or unknown character.
+    Punct,
+}
+
+/// One lexeme: its kind, exact source text, and 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the lexeme is.
+    pub kind: TokenKind,
+    /// The exact slice of source text (never normalized).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for tokens the rule engine skips (whitespace and comments).
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Concatenates token texts back into source text.
+///
+/// The lossless-lexing contract: `render(&tokenize(src)) == src` for any
+/// `src` (see `tests/lexer_roundtrip.rs`).
+pub fn render(tokens: &[Token]) -> String {
+    tokens.iter().map(|t| t.text.as_str()).collect()
+}
+
+/// Tokenizes `src` losslessly. Never panics; see the module docs for the
+/// totality guarantees.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Emits the token spanning `start..self.pos` and advances line/col
+    /// bookkeeping over its text.
+    fn emit(&mut self, kind: TokenKind, start: usize) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let (line, col) = (self.line, self.col);
+        for c in &self.chars[start..self.pos] {
+            if *c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            match c {
+                c if c.is_whitespace() => {
+                    while self.peek(0).is_some_and(|c| c.is_whitespace()) {
+                        self.pos += 1;
+                    }
+                    self.emit(TokenKind::Whitespace, start);
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.pos += 1;
+                    }
+                    self.emit(TokenKind::LineComment, start);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment();
+                    self.emit(TokenKind::BlockComment, start);
+                }
+                // Raw identifiers and raw strings share the `r` prefix;
+                // byte strings/chars the `b` prefix. Try those shapes
+                // before falling back to a plain identifier.
+                'r' | 'b' if self.try_prefixed_literal() => {}
+                c if c.is_alphabetic() || c == '_' => {
+                    self.ident();
+                    self.emit(TokenKind::Ident, start);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.emit(TokenKind::Number, start);
+                }
+                '"' => {
+                    self.pos += 1;
+                    self.string_body('"');
+                    self.emit(TokenKind::Str, start);
+                }
+                '\'' => self.quote(),
+                _ => {
+                    self.pos += 1;
+                    self.emit(TokenKind::Punct, start);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn block_comment(&mut self) {
+        // `/*`, nested to arbitrary depth; unterminated runs to EOF.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self) {
+        // Permissive numeric scan: digits, underscores, radix prefixes,
+        // `.` between digits, exponents with optional sign, suffixes.
+        // Over-accepting is fine — the renderer only needs the exact text.
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(self.chars.get(self.pos - 1), Some('e') | Some('E'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes a string body after the opening quote, honoring `\`
+    /// escapes; unterminated bodies run to EOF.
+    fn string_body(&mut self, close: char) {
+        while let Some(c) = self.peek(0) {
+            self.pos += 1;
+            if c == '\\' {
+                if self.peek(0).is_some() {
+                    self.pos += 1;
+                }
+            } else if c == close {
+                break;
+            }
+        }
+    }
+
+    /// `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, `b'…'` — returns
+    /// `false` (consuming nothing) when the shape is not one of these, so
+    /// the caller falls through to plain-identifier lexing.
+    fn try_prefixed_literal(&mut self) -> bool {
+        let start = self.pos;
+        let first = self.peek(0);
+        let mut i = 1; // past `r` or `b`
+        if first == Some('b') && self.peek(i) == Some('r') {
+            i += 1;
+        }
+        // Count `#`s of a raw literal.
+        let mut hashes = 0usize;
+        while self.peek(i + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(i + hashes) {
+            Some('"') if first == Some('r') || self.peek(1) == Some('r') || hashes == 0 => {
+                // Raw or byte string.
+                let is_raw =
+                    first == Some('r') || (first == Some('b') && self.peek(1) == Some('r'));
+                if !is_raw && hashes > 0 {
+                    return false;
+                }
+                self.pos += i + hashes + 1;
+                if is_raw {
+                    self.raw_string_body(hashes);
+                } else {
+                    self.string_body('"');
+                }
+                self.emit(TokenKind::Str, start);
+                true
+            }
+            Some(c) if first == Some('r') && hashes == 1 && (c.is_alphabetic() || c == '_') => {
+                // Raw identifier `r#ident`.
+                self.pos += 2;
+                self.ident();
+                self.emit(TokenKind::Ident, start);
+                true
+            }
+            Some('\'') if first == Some('b') && hashes == 0 && i == 1 => {
+                // Byte char `b'…'`.
+                self.pos += 2;
+                self.string_body('\'');
+                self.emit(TokenKind::Char, start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a raw string with `hashes` leading `#`s, after the opening
+    /// quote: runs to `"` followed by that many `#`s (no escapes).
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            self.pos += 1;
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                self.pos += hashes;
+                break;
+            }
+        }
+    }
+
+    /// `'` starts either a lifetime/label (`'a`) or a char literal
+    /// (`'a'`, `'\n'`). A quote followed by an identifier char that is
+    /// *not* closed by another quote is a lifetime.
+    fn quote(&mut self) {
+        let start = self.pos;
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Scan the identifier run; a closing quote right after a
+                // one-char run means a char literal like 'x'.
+                let mut j = 2;
+                while self
+                    .peek(j)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    j += 1;
+                }
+                self.peek(j) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            self.ident();
+            self.emit(TokenKind::Lifetime, start);
+        } else {
+            self.pos += 1;
+            self.string_body('\'');
+            self.emit(TokenKind::Char, start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_basic_source() {
+        let src = "fn main() { let x = 1.5e-3; println!(\"hi \\\" there\"); }\n";
+        assert_eq!(render(&tokenize(src)), src);
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let src = "a // trailing\n/* block /* nested */ done */ b";
+        let t = kinds(src);
+        assert_eq!(t[1].0, TokenKind::LineComment);
+        assert_eq!(t[2].0, TokenKind::BlockComment);
+        assert_eq!(t[2].1, "/* block /* nested */ done */");
+        assert_eq!(render(&tokenize(src)), src);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("<'a> 'x' '\\n' 'static b'z'");
+        assert_eq!(t[1], (TokenKind::Lifetime, "'a".into()));
+        assert_eq!(t[3], (TokenKind::Char, "'x'".into()));
+        assert_eq!(t[4], (TokenKind::Char, "'\\n'".into()));
+        assert_eq!(t[5], (TokenKind::Lifetime, "'static".into()));
+        assert_eq!(t[6], (TokenKind::Char, "b'z'".into()));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = "r\"plain\" r#\"has \" quote\"# r#match br#\"bytes\"# b\"b\"";
+        let t = kinds(src);
+        assert_eq!(t[0], (TokenKind::Str, "r\"plain\"".into()));
+        assert_eq!(t[1], (TokenKind::Str, "r#\"has \" quote\"#".into()));
+        assert_eq!(t[2], (TokenKind::Ident, "r#match".into()));
+        assert_eq!(t[3], (TokenKind::Str, "br#\"bytes\"#".into()));
+        assert_eq!(t[4], (TokenKind::Str, "b\"b\"".into()));
+        assert_eq!(render(&tokenize(src)), src);
+    }
+
+    #[test]
+    fn rule_tokens_inside_strings_and_comments_stay_inert() {
+        let src = "let s = \"HashMap.unwrap()\"; // HashMap iter\n";
+        let idents: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = tokenize("ab\n  cd");
+        let cd = toks.iter().find(|t| t.text == "cd").unwrap();
+        assert_eq!((cd.line, cd.col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panicking() {
+        for src in ["\"open", "/* open", "'x", "r#\"open", "b'"] {
+            assert_eq!(render(&tokenize(src)), src, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_suffixes() {
+        let t = kinds("1_000u64 0xFFi32 2.5e-3 1.0f64 0b1010");
+        assert!(t.iter().all(|(k, _)| *k == TokenKind::Number));
+        assert_eq!(t.len(), 5);
+    }
+}

@@ -1,0 +1,44 @@
+//! `dmc-lint` — a determinism & soundness static-analysis pass over the
+//! workspace's own Rust sources.
+//!
+//! Every subsystem in this workspace carries the same load-bearing
+//! contract: reports, traces, and sweeps are **bit-identical at any
+//! thread count**, bounds are **sound**, and tie-breaks are
+//! **documented and deterministic**. This crate turns that contract from
+//! a convention into a checked property: a hand-rolled lossless lexer
+//! (no `syn`, consistent with the no-registry vendoring policy) feeds a
+//! rule engine whose rules encode the repo's real invariants:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `D1` | no `HashMap`/`HashSet` in non-test library code (nondeterministic iteration order) |
+//! | `D2` | no `Instant::now`/`SystemTime::now`/unseeded randomness in library code |
+//! | `D3` | no `partial_cmp` on comparison paths — floats order via `total_cmp` |
+//! | `S1` | no `unwrap`/`expect`/`panic!` in library code without a waived invariant |
+//! | `S2` | every `std::thread::scope` fan-out merges through `dmc_cdag::fanout::fan_out_indexed` |
+//!
+//! Sites that are genuinely safe carry an in-place waiver with a
+//! mandatory justification:
+//!
+//! ```text
+//! // dmc-lint: allow(d1) -- lookup-only map; no iteration order escapes
+//! ```
+//!
+//! Waivers that stop suppressing anything are themselves reported
+//! (exit code 2 from `repro lint`), so the justification inventory can
+//! never drift from the code. See [`lint_workspace`] for the entry
+//! point and `DESIGN.md` ("Determinism contract") for rule rationale
+//! and waiver policy.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{find_workspace_root, lint_source, lint_workspace, LintError};
+pub use report::{LintReport, Severity, UnusedWaiver, Violation};
+pub use rules::{all_rules, Rule};

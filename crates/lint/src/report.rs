@@ -1,0 +1,244 @@
+//! Deterministic lint reports: stable ordering, text and JSON renderings,
+//! and the CLI exit-code policy.
+
+use serde::json::Value;
+use serde::Serialize;
+use std::fmt;
+
+/// How a rule hit is classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Blocks the build: exit code 1 from `repro lint`.
+    Deny,
+    /// Advisory only (no shipped rule uses this yet; it exists so future
+    /// rules can ride the same engine without an exit-code change).
+    Warn,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Deny => write!(f, "deny"),
+            Severity::Warn => write!(f, "warn"),
+        }
+    }
+}
+
+/// One un-waived rule hit.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id (`"D1"`, …, or `"W0"` for malformed waivers).
+    pub rule: String,
+    /// Severity of the rule.
+    pub severity: Severity,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// A waiver that suppressed nothing — stale justifications are reported
+/// (exit code 2) so the waiver inventory always matches reality.
+#[derive(Debug, Clone)]
+pub struct UnusedWaiver {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// The rules it named.
+    pub rules: Vec<String>,
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Uppercase ids of the rules that ran.
+    pub rules_run: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Un-waived violations, sorted by (file, line, col, rule).
+    pub violations: Vec<Violation>,
+    /// Waivers that suppressed at least one violation.
+    pub waivers_used: usize,
+    /// Waivers that suppressed nothing, sorted by (file, line).
+    pub unused_waivers: Vec<UnusedWaiver>,
+}
+
+impl LintReport {
+    /// Canonical ordering for deterministic output.
+    pub fn sort(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
+        });
+        self.unused_waivers
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// `true` when there is nothing to report.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.unused_waivers.is_empty()
+    }
+
+    /// CLI exit-code policy: violations trump unused waivers.
+    ///
+    /// * `1` — at least one un-waived violation;
+    /// * `2` — clean of violations but some waiver is stale;
+    /// * `0` — clean.
+    pub fn exit_code(&self) -> i32 {
+        if !self.violations.is_empty() {
+            1
+        } else if !self.unused_waivers.is_empty() {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "dmc-lint: {} file(s), rules [{}]\n",
+            self.files_scanned,
+            self.rules_run.join(", ")
+        ));
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}:{}: {} [{}]: {}\n",
+                v.file, v.line, v.col, v.severity, v.rule, v.message
+            ));
+        }
+        for w in &self.unused_waivers {
+            out.push_str(&format!(
+                "{}:{}: unused waiver [{}]: suppresses nothing -- delete it or fix the drift\n",
+                w.file,
+                w.line,
+                w.rules.join(", ")
+            ));
+        }
+        out.push_str(&format!(
+            "{} violation(s), {} waiver(s) honored, {} unused waiver(s)\n",
+            self.violations.len(),
+            self.waivers_used,
+            self.unused_waivers.len()
+        ));
+        out
+    }
+}
+
+impl Serialize for Violation {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("file", Value::String(self.file.clone())),
+            ("line", Value::UInt(self.line as u64)),
+            ("col", Value::UInt(self.col as u64)),
+            ("rule", Value::String(self.rule.clone())),
+            ("severity", Value::String(self.severity.to_string())),
+            ("message", Value::String(self.message.clone())),
+        ])
+    }
+}
+
+impl Serialize for UnusedWaiver {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("file", Value::String(self.file.clone())),
+            ("line", Value::UInt(self.line as u64)),
+            (
+                "rules",
+                Value::Array(self.rules.iter().cloned().map(Value::String).collect()),
+            ),
+        ])
+    }
+}
+
+impl Serialize for LintReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "rules_run",
+                Value::Array(self.rules_run.iter().cloned().map(Value::String).collect()),
+            ),
+            ("files_scanned", Value::UInt(self.files_scanned as u64)),
+            (
+                "violations",
+                Value::Array(self.violations.iter().map(|v| v.to_json()).collect()),
+            ),
+            ("waivers_used", Value::UInt(self.waivers_used as u64)),
+            (
+                "unused_waivers",
+                Value::Array(self.unused_waivers.iter().map(|w| w.to_json()).collect()),
+            ),
+            ("clean", Value::Bool(self.is_clean())),
+            ("exit_code", Value::Int(self.exit_code() as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: u32, rule: &str) -> Violation {
+        Violation {
+            file: file.into(),
+            line,
+            col: 1,
+            rule: rule.into(),
+            severity: Severity::Deny,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn exit_codes_follow_policy() {
+        let mut r = LintReport::default();
+        assert_eq!(r.exit_code(), 0);
+        r.unused_waivers.push(UnusedWaiver {
+            file: "a.rs".into(),
+            line: 1,
+            rules: vec!["D1".into()],
+        });
+        assert_eq!(r.exit_code(), 2);
+        r.violations.push(v("a.rs", 2, "S1"));
+        assert_eq!(r.exit_code(), 1, "violations trump unused waivers");
+    }
+
+    #[test]
+    fn ordering_is_canonical() {
+        let mut r = LintReport::default();
+        r.violations.push(v("b.rs", 1, "D1"));
+        r.violations.push(v("a.rs", 9, "S1"));
+        r.violations.push(v("a.rs", 9, "D1"));
+        r.sort();
+        let order: Vec<_> = r
+            .violations
+            .iter()
+            .map(|v| (v.file.clone(), v.line, v.rule.clone()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 9, "D1".to_string()),
+                ("a.rs".to_string(), 9, "S1".to_string()),
+                ("b.rs".to_string(), 1, "D1".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let mut r = LintReport {
+            rules_run: vec!["D1".into()],
+            ..LintReport::default()
+        };
+        r.violations.push(v("a.rs", 1, "D1"));
+        let s = serde::json::to_string(&r);
+        assert!(s.contains("\"violations\":[{\"file\":\"a.rs\""));
+        assert!(s.contains("\"exit_code\":1"));
+    }
+}

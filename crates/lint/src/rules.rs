@@ -1,0 +1,400 @@
+//! The rule catalog: each rule encodes one invariant of the workspace's
+//! determinism/soundness contract (see DESIGN.md, "Determinism
+//! contract"). Rules pattern-match on the lossless token stream of
+//! non-test library code — string literals, comments, doc examples, and
+//! `#[cfg(test)]` regions can never trigger them.
+
+use crate::lexer::Token;
+use crate::report::{Severity, Violation};
+use crate::source::SourceFile;
+
+/// One static-analysis rule.
+///
+/// A rule inspects a prepared [`SourceFile`] and pushes [`Violation`]s.
+/// Implementations must be deterministic (violations in source order) and
+/// purely lexical — they see tokens, never an AST.
+pub trait Rule: Sync {
+    /// Stable uppercase identifier (`"D1"`, `"S2"`, …) used in reports
+    /// and waiver comments.
+    fn id(&self) -> &'static str;
+    /// How a hit is classified. All shipped rules are [`Severity::Deny`];
+    /// the distinction exists so future advisory rules can ride the same
+    /// engine.
+    fn severity(&self) -> Severity;
+    /// One-line description shown in reports and `W0` diagnostics.
+    fn summary(&self) -> &'static str;
+    /// Scans `file`, appending one violation per offending site.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>);
+}
+
+/// A cursor over the non-trivia, non-exempt tokens of a file, with the
+/// shared helpers the rules need (use-declaration tracking, sequence
+/// matching).
+struct Code<'a> {
+    tokens: &'a [Token],
+    idx: Vec<usize>,
+}
+
+impl<'a> Code<'a> {
+    fn new(file: &'a SourceFile) -> Self {
+        Code {
+            tokens: &file.tokens,
+            idx: file.code_indices(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    fn text(&self, k: usize) -> &str {
+        self.tokens[self.idx[k]].text.as_str()
+    }
+
+    fn token(&self, k: usize) -> &Token {
+        &self.tokens[self.idx[k]]
+    }
+
+    /// `true` when the `k`-th code token lies inside a `use` declaration.
+    /// Import lines name types without invoking them, so type-name rules
+    /// skip them — `rustc` already flags unused imports. Every `use`
+    /// declaration in valid Rust terminates with `;`, so scanning
+    /// backward, hitting `use` before any `;` means the token sits inside
+    /// one (brace groups like `use x::{A, B};` included).
+    fn in_use_decl(&self, k: usize) -> bool {
+        let mut j = k;
+        loop {
+            match self.text(j) {
+                ";" if j != k => return false,
+                "use" => return true,
+                _ => {}
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+    }
+
+    /// `true` if tokens `k..` spell out `parts` exactly.
+    fn seq(&self, k: usize, parts: &[&str]) -> bool {
+        parts
+            .iter()
+            .enumerate()
+            .all(|(o, p)| k + o < self.len() && self.text(k + o) == *p)
+    }
+}
+
+fn violation(rule: &dyn Rule, file: &SourceFile, tok: &Token, message: String) -> Violation {
+    Violation {
+        file: file.rel_path.clone(),
+        line: tok.line,
+        col: tok.col,
+        rule: rule.id().to_string(),
+        severity: rule.severity(),
+        message,
+    }
+}
+
+/// **D1 — no hash-ordered collections in library code.**
+///
+/// Flags every use of `HashMap`/`HashSet` outside `use` declarations.
+/// Iteration order of the std hash collections varies per process and per
+/// instance, so any hash map whose iteration reaches an output, a merge,
+/// or a tie-break silently breaks the workspace's bit-identical-reports
+/// guarantee. The rule is deliberately stricter than "no iteration": a
+/// lexical pass cannot prove a map is never iterated, so every hash
+/// collection must either be replaced by a sorted/dense indexed structure
+/// (`Vec` indexed by id, `BTreeMap`, `BitSet`) or carry a waiver whose
+/// justification explains why no iteration order can escape.
+pub struct HashOrderRule;
+
+impl Rule for HashOrderRule {
+    fn id(&self) -> &'static str {
+        "D1"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet in library code: iteration order is nondeterministic"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let code = Code::new(file);
+        for k in 0..code.len() {
+            let t = code.text(k);
+            if (t == "HashMap" || t == "HashSet") && !code.in_use_decl(k) {
+                out.push(violation(
+                    self,
+                    file,
+                    code.token(k),
+                    format!(
+                        "{t} has nondeterministic iteration order; use a sorted/dense \
+                         indexed structure (Vec-by-id, BTreeMap, BitSet) or waive with \
+                         a justification that no iteration order escapes"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **D2 — no ambient wall-clock or entropy in library code.**
+///
+/// Flags `Instant::now`, `SystemTime::now`, and unseeded randomness
+/// (`thread_rng`, `from_entropy`). Reports, traces, and sweeps must be
+/// reproducible from inputs alone; time and entropy belong in benches
+/// (which are exempt wholesale) or behind explicitly seeded generators
+/// (`SeedableRng::seed_from_u64`, the workspace convention).
+pub struct WallClockRule;
+
+impl Rule for WallClockRule {
+    fn id(&self) -> &'static str {
+        "D2"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "wall-clock time or unseeded randomness in library code"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let code = Code::new(file);
+        for k in 0..code.len() {
+            let hit = if code.seq(k, &["Instant", ":", ":", "now"]) {
+                Some("Instant::now")
+            } else if code.seq(k, &["SystemTime", ":", ":", "now"]) {
+                Some("SystemTime::now")
+            } else if code.text(k) == "thread_rng" || code.text(k) == "from_entropy" {
+                Some("unseeded randomness")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                if !code.in_use_decl(k) {
+                    out.push(violation(
+                        self,
+                        file,
+                        code.token(k),
+                        format!(
+                            "{what} makes output depend on the environment; thread \
+                             timestamps through explicit parameters or seed RNGs with \
+                             seed_from_u64, or waive with a justification that the \
+                             value never reaches a report"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// **D3 — no `partial_cmp` on the comparison path.**
+///
+/// Flags every `.partial_cmp(` call. On floats, `partial_cmp` returns
+/// `None` for NaN — the idiomatic `partial_cmp(..).unwrap()` panics on
+/// the first NaN bound and `sort_by(|a, b| a.partial_cmp(b).unwrap())`
+/// poisons the order before it panics. `f64::total_cmp` is total,
+/// deterministic, and what every comparator in this workspace uses (see
+/// `dmc_core::analysis::best_lower_bound` for the regression that
+/// motivated the rule).
+pub struct FloatOrdRule;
+
+impl Rule for FloatOrdRule {
+    fn id(&self) -> &'static str {
+        "D3"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "partial_cmp on the comparison path: use total_cmp"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let code = Code::new(file);
+        for k in 0..code.len() {
+            if code.seq(k, &[".", "partial_cmp", "("]) {
+                out.push(violation(
+                    self,
+                    file,
+                    code.token(k + 1),
+                    "partial_cmp is not total on floats (None on NaN); order floats \
+                     with f64::total_cmp, or waive with a justification for why the \
+                     operands can never be NaN"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// **S1 — no panicking escape hatches in library code.**
+///
+/// Flags `.unwrap()`, `.expect(`, `panic!`, `todo!`, and
+/// `unimplemented!`. Library code is expected to return errors or
+/// establish its preconditions with `assert!`/`debug_assert!` (which
+/// state an invariant and are allowed); an unwrap is either a latent
+/// panic or an undocumented invariant. Each surviving site must carry a
+/// waiver whose justification names the invariant that makes it
+/// unreachable.
+///
+/// The issue's "indexing by untrusted index" leg is *not* decidable
+/// lexically (every `a[i]` looks alike without types); it is covered
+/// indirectly — `#![forbid(unsafe_code)]` rules out unchecked indexing,
+/// and slice indexing panics route into the same review as `assert!`.
+pub struct PanicPathRule;
+
+impl Rule for PanicPathRule {
+    fn id(&self) -> &'static str {
+        "S1"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic in library code without a waived invariant"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let code = Code::new(file);
+        for k in 0..code.len() {
+            let hit = if code.seq(k, &[".", "unwrap", "("]) || code.seq(k, &[".", "expect", "("]) {
+                Some((k + 1, code.text(k + 1).to_string()))
+            } else if (code.text(k) == "panic"
+                || code.text(k) == "todo"
+                || code.text(k) == "unimplemented")
+                && code.seq(k + 1, &["!"])
+            {
+                Some((k, format!("{}!", code.text(k))))
+            } else {
+                None
+            };
+            if let Some((at, what)) = hit {
+                out.push(violation(
+                    self,
+                    file,
+                    code.token(at),
+                    format!(
+                        "{what} can panic at runtime; return an error, establish the \
+                         precondition with assert!, or waive with the invariant that \
+                         makes this site unreachable"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **S2 — thread fan-outs must merge deterministically.**
+///
+/// Flags every `thread::scope` in library code. Ad-hoc scoped fan-outs
+/// are where nondeterministic merge order creeps in; the workspace's one
+/// blessed shape is [`fan_out_indexed`] (`dmc_cdag::fanout`), which pulls
+/// indices from an atomic counter and reassembles results **by index** so
+/// output is bit-identical at any worker count. `fan_out_indexed`'s own
+/// implementation carries the waiver that bootstraps the rule.
+///
+/// [`fan_out_indexed`]: https://docs.rs/dmc-cdag
+pub struct ScopeFanoutRule;
+
+impl Rule for ScopeFanoutRule {
+    fn id(&self) -> &'static str {
+        "S2"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn summary(&self) -> &'static str {
+        "raw thread::scope fan-out: merge through dmc_cdag::fanout::fan_out_indexed"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let code = Code::new(file);
+        for k in 0..code.len() {
+            if code.seq(k, &["thread", ":", ":", "scope"]) && !code.in_use_decl(k) {
+                out.push(violation(
+                    self,
+                    file,
+                    code.token(k),
+                    "raw thread::scope fan-out can merge results in scheduling order; \
+                     route the fan-out through dmc_cdag::fanout::fan_out_indexed \
+                     (index-ordered merge), or waive with a justification for why the \
+                     merge is order-independent"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// The full shipped rule set, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(HashOrderRule),
+        Box::new(WallClockRule),
+        Box::new(FloatOrdRule),
+        Box::new(PanicPathRule),
+        Box::new(ScopeFanoutRule),
+    ]
+}
+
+/// `true` if `id` names a shipped rule (case-insensitive).
+pub fn is_known_rule(id: &str) -> bool {
+    all_rules().iter().any(|r| r.id().eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule: &dyn Rule, src: &str) -> Vec<Violation> {
+        let f = SourceFile::parse("x.rs", src);
+        let mut out = Vec::new();
+        rule.check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn d1_flags_usage_not_imports() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let v = run(&HashOrderRule, src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.line == 2));
+    }
+
+    #[test]
+    fn d2_flags_clock_and_entropy() {
+        let src = "fn f() { let t = std::time::Instant::now(); let r = thread_rng(); }\n";
+        let v = run(&WallClockRule, src);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn d3_flags_partial_cmp_calls_only() {
+        let src = "fn f(a: f64, b: f64) { a.partial_cmp(&b); a.total_cmp(&b); }\n";
+        let v = run(&FloatOrdRule, src);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn s1_flags_panicking_forms_not_fallbacks() {
+        let src = "fn f(o: Option<u32>) { o.unwrap(); o.expect(\"x\"); o.unwrap_or(0); \
+                   o.unwrap_or_else(|| 1); panic!(\"no\"); }\n";
+        let v = run(&PanicPathRule, src);
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn s2_flags_scope() {
+        let src = "fn f() { std::thread::scope(|s| {}); }\n";
+        assert_eq!(run(&ScopeFanoutRule, src).len(), 1);
+    }
+
+    #[test]
+    fn strings_comments_and_tests_never_fire() {
+        let src = "// HashMap.unwrap() thread::scope Instant::now\n\
+                   fn f() { let s = \"panic! HashSet\"; }\n\
+                   #[cfg(test)] mod t { fn g() { x.unwrap(); } }\n";
+        for rule in all_rules() {
+            assert!(run(rule.as_ref(), src).is_empty(), "{}", rule.id());
+        }
+    }
+}

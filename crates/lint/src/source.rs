@@ -1,0 +1,319 @@
+//! Per-file analysis context: token stream, test-code exemption map, and
+//! waiver extraction.
+//!
+//! # Waiver syntax
+//!
+//! ```text
+//! // dmc-lint: allow(s1) -- why this site cannot actually panic
+//! // dmc-lint: allow(d1, s1) -- one comment may waive several rules
+//! ```
+//!
+//! A waiver written as a *trailing* comment covers violations on its own
+//! line; a waiver on a line of its own covers the next source line. Every
+//! waiver must carry a non-empty justification after `--` — a bare
+//! `allow(...)` is itself reported (rule `W0`), as is a waiver naming an
+//! unknown rule. Waivers that suppress nothing are reported separately so
+//! stale justifications cannot accumulate (exit code 2 in the CLI).
+
+use crate::lexer::{self, Token, TokenKind};
+
+/// A parsed `// dmc-lint: allow(...) -- ...` comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Uppercased rule ids this waiver names (e.g. `["D1", "S1"]`).
+    pub rules: Vec<String>,
+    /// The justification text after `--` (trimmed; never empty for a
+    /// well-formed waiver).
+    pub justification: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The line whose violations this waiver suppresses.
+    pub covers_line: u32,
+}
+
+/// A malformed waiver comment (missing justification or unparsable rule
+/// list) — reported as a `W0` violation by the engine.
+#[derive(Debug, Clone)]
+pub struct BadWaiver {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// What is wrong with it.
+    pub reason: String,
+}
+
+/// One file prepared for rule checking.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (stable across
+    /// platforms, used for report ordering).
+    pub rel_path: String,
+    /// The full lossless token stream.
+    pub tokens: Vec<Token>,
+    /// `exempt[i]` — token `i` sits inside `#[cfg(test)]` / `#[test]`
+    /// code and is invisible to rules.
+    pub exempt: Vec<bool>,
+    /// Well-formed waivers found in the file.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waiver comments.
+    pub bad_waivers: Vec<BadWaiver>,
+}
+
+impl SourceFile {
+    /// Lexes and prepares `source` (read from `rel_path`).
+    pub fn parse(rel_path: &str, source: &str) -> SourceFile {
+        let tokens = lexer::tokenize(source);
+        let exempt = mark_test_regions(&tokens);
+        let (waivers, bad_waivers) = extract_waivers(&tokens);
+        SourceFile {
+            rel_path: rel_path.replace('\\', "/"),
+            tokens,
+            exempt,
+            waivers,
+            bad_waivers,
+        }
+    }
+
+    /// Indices of non-trivia, non-exempt tokens, in source order — the
+    /// stream rules pattern-match on.
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_trivia() && !self.exempt[i])
+            .collect()
+    }
+}
+
+/// Marks every token covered by a `#[cfg(test)]`- or `#[test]`-attributed
+/// item (the attribute itself, any stacked attributes after it, and the
+/// item body through its matching `}` or `;`).
+///
+/// This is a token-level approximation of item scope: it tracks bracket
+/// depth, not grammar, which is exact for the attribute forms this
+/// workspace uses (`#[cfg(test)] mod tests { .. }`, `#[test] fn .. { .. }`).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut exempt = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia())
+        .collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        if let Some(attr_end) = match_test_attribute(tokens, &code, k) {
+            // Found `#[cfg(test)]` / `#[test]` starting at code[k] and
+            // ending (inclusive) at code[attr_end]. Skip any further
+            // stacked attributes, then consume the item.
+            let mut j = attr_end + 1;
+            while j < code.len() && tokens[code[j]].text == "#" {
+                j = skip_attribute(tokens, &code, j);
+            }
+            // Item body: everything through the first `;` at depth 0 or
+            // the matching `}` of the first `{`.
+            let mut depth = 0usize;
+            let mut end = j;
+            while end < code.len() {
+                match tokens[code[end]].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            let lo = code[k];
+            let hi = code[end.min(code.len() - 1)];
+            for slot in exempt.iter_mut().take(hi + 1).skip(lo) {
+                *slot = true;
+            }
+            k = end + 1;
+        } else {
+            k += 1;
+        }
+    }
+    exempt
+}
+
+/// If `code[k]` starts a `#[test]`-like or `#[cfg(..test..)]` attribute,
+/// returns the code index of its closing `]`.
+fn match_test_attribute(tokens: &[Token], code: &[usize], k: usize) -> Option<usize> {
+    if tokens[code[k]].text != "#" || code.get(k + 1).is_none_or(|&i| tokens[i].text != "[") {
+        return None;
+    }
+    let close = find_matching(tokens, code, k + 1, "[", "]")?;
+    let inner: Vec<&str> = code[k + 2..close]
+        .iter()
+        .map(|&i| tokens[i].text.as_str())
+        .collect();
+    let is_test = match inner.first() {
+        Some(&"test") => inner.len() == 1,
+        Some(&"cfg") => inner.contains(&"test"),
+        _ => false,
+    };
+    is_test.then_some(close)
+}
+
+/// Skips one `#[...]` attribute starting at `code[k]`; returns the code
+/// index just past its `]` (or `k + 1` if the shape is unexpected).
+fn skip_attribute(tokens: &[Token], code: &[usize], k: usize) -> usize {
+    match find_matching(tokens, code, k + 1, "[", "]") {
+        Some(close) => close + 1,
+        None => k + 1,
+    }
+}
+
+/// Index of the `close` matching the `open` at `code[start]`.
+fn find_matching(
+    tokens: &[Token],
+    code: &[usize],
+    start: usize,
+    open: &str,
+    close: &str,
+) -> Option<usize> {
+    if tokens[*code.get(start)?].text != open {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, &i) in code.iter().enumerate().skip(start) {
+        if tokens[i].text == open {
+            depth += 1;
+        } else if tokens[i].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Pulls waivers out of the comment tokens.
+fn extract_waivers(tokens: &[Token]) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    // Last non-trivia line seen before each token, to classify trailing
+    // vs standalone comments.
+    let mut last_code_line = 0u32;
+    for t in tokens {
+        if !t.is_trivia() {
+            last_code_line = t.line;
+            continue;
+        }
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("dmc-lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rules, justification)) => {
+                let trailing = last_code_line == t.line;
+                waivers.push(Waiver {
+                    rules,
+                    justification,
+                    line: t.line,
+                    covers_line: if trailing { t.line } else { t.line + 1 },
+                });
+            }
+            Err(reason) => bad.push(BadWaiver {
+                line: t.line,
+                reason,
+            }),
+        }
+    }
+    (waivers, bad)
+}
+
+/// Parses `allow(d1, s2) -- justification`.
+fn parse_allow(s: &str) -> Result<(Vec<String>, String), String> {
+    let Some(rest) = s.strip_prefix("allow") else {
+        return Err("expected `allow(<rules>) -- <justification>`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some((list, after)) = rest.split_once(')') else {
+        return Err("unclosed rule list in `allow(...)`".to_string());
+    };
+    let rules: Vec<String> = list
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list in `allow(...)`".to_string());
+    }
+    let after = after.trim_start();
+    let Some(justification) = after.strip_prefix("--") else {
+        return Err("missing `-- <justification>` after `allow(...)`".to_string());
+    };
+    let justification = justification.trim().to_string();
+    if justification.is_empty() {
+        return Err("empty justification after `--`".to_string());
+    }
+    Ok((rules, justification))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::parse("a.rs", src);
+        let visible: Vec<&str> = f
+            .code_indices()
+            .into_iter()
+            .map(|i| f.tokens[i].text.as_str())
+            .collect();
+        assert!(visible.contains(&"lib"));
+        assert!(visible.contains(&"tail"));
+        assert!(!visible.contains(&"tests"));
+        assert_eq!(visible.iter().filter(|t| **t == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn stacked_attributes_and_test_fns_are_exempt() {
+        let src =
+            "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { z.unwrap(); }\nfn lib() {}\n";
+        let f = SourceFile::parse("a.rs", src);
+        let visible: Vec<&str> = f
+            .code_indices()
+            .into_iter()
+            .map(|i| f.tokens[i].text.as_str())
+            .collect();
+        assert!(!visible.contains(&"unwrap"));
+        assert!(visible.contains(&"lib"));
+    }
+
+    #[test]
+    fn waiver_parsing_trailing_and_standalone() {
+        let src = "let a = m.get(&k); // dmc-lint: allow(s1) -- guarded above\n\
+                   // dmc-lint: allow(d1, s2) -- membership only\n\
+                   let b = 0;\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].rules, vec!["S1"]);
+        assert_eq!(f.waivers[0].covers_line, 1);
+        assert_eq!(f.waivers[1].rules, vec!["D1", "S2"]);
+        assert_eq!(f.waivers[1].covers_line, 3);
+        assert_eq!(f.waivers[1].justification, "membership only");
+    }
+
+    #[test]
+    fn malformed_waivers_are_reported() {
+        for bad in [
+            "// dmc-lint: allow(d1)",
+            "// dmc-lint: allow(d1) --",
+            "// dmc-lint: allow() -- x",
+            "// dmc-lint: deny(d1) -- x",
+        ] {
+            let f = SourceFile::parse("a.rs", bad);
+            assert_eq!(f.bad_waivers.len(), 1, "{bad}");
+            assert!(f.waivers.is_empty(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: D1 true negatives — sorted/dense structures, imports, test
+// code, comments, and a justified waiver.
+use std::collections::HashMap; // import alone never fires
+use std::collections::BTreeMap;
+
+/// Doc example mentioning HashMap iteration never fires either.
+pub fn dense(counts: &[u64]) -> u64 {
+    counts.iter().sum()
+}
+
+pub fn sorted(m: &BTreeMap<usize, u64>) -> Vec<usize> {
+    m.keys().copied().collect()
+}
+
+// dmc-lint: allow(d1) -- lookup-only memo; no iteration order escapes
+pub fn memo() -> HashMap<u32, u32> {
+    HashMap::new() // dmc-lint: allow(d1) -- constructed empty, never iterated
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    #[test]
+    fn test_code_is_exempt() {
+        let s: HashSet<u8> = HashSet::new();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: D1 true positives — hash collections in library code.
+use std::collections::{HashMap, HashSet};
+
+pub fn merge(counts: HashMap<usize, u64>) -> Vec<(usize, u64)> {
+    let mut out: Vec<(usize, u64)> = counts.into_iter().collect(); // order leaks!
+    out
+}
+
+pub fn members() -> HashSet<u32> {
+    HashSet::new()
+}

@@ -1,0 +1,11 @@
+// Fixture: D2 true negatives — seeded randomness and parameterized time.
+pub fn seeded(seed: u64) -> u64 {
+    // The workspace convention: SeedableRng::seed_from_u64.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next()
+}
+
+/// "Call Instant::now() in your bench harness" — comments never fire.
+pub fn elapsed_of(start_ns: u64, end_ns: u64) -> u64 {
+    end_ns - start_ns
+}

@@ -1,0 +1,13 @@
+// Fixture: D2 true positives — ambient time and entropy.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next()
+}

@@ -1,0 +1,9 @@
+// Fixture: D3 true negatives — total_cmp everywhere.
+pub fn worst(xs: &mut [f64]) -> Option<f64> {
+    xs.sort_by(f64::total_cmp);
+    xs.last().copied()
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}

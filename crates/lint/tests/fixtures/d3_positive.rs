@@ -1,0 +1,9 @@
+// Fixture: D3 true positives — partial_cmp on comparison paths.
+pub fn worst(xs: &mut Vec<f64>) -> Option<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.last().copied()
+}
+
+pub fn cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("no NaN")
+}

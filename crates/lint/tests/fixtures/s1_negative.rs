@@ -1,0 +1,28 @@
+// Fixture: S1 true negatives — error returns, fallbacks, asserts,
+// waived invariants, and test code.
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn fallback(o: Option<u64>) -> u64 {
+    o.unwrap_or(0).max(o.unwrap_or_else(|| 1)).max(o.unwrap_or_default())
+}
+
+pub fn checked(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty(), "precondition: nonempty");
+    xs[0]
+}
+
+pub fn waived(xs: &[u64]) -> u64 {
+    // dmc-lint: allow(s1) -- len checked by every caller; asserted above in checked()
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

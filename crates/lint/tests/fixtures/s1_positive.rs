@@ -1,0 +1,16 @@
+// Fixture: S1 true positives — panicking escape hatches in library code.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn must(o: Option<u64>) -> u64 {
+    o.expect("caller promised")
+}
+
+pub fn nope() -> ! {
+    panic!("unhandled case")
+}
+
+pub fn later() -> u64 {
+    todo!()
+}

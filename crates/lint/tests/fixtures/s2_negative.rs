@@ -1,0 +1,6 @@
+// Fixture: S2 true negative — the blessed index-ordered fan-out shape.
+pub fn sum_parallel(xs: &[u64], workers: usize) -> u64 {
+    dmc_cdag::fanout::fan_out_indexed(xs.len(), workers, || (), |_, i| xs[i])
+        .into_iter()
+        .sum()
+}

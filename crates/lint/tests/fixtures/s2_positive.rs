@@ -1,0 +1,12 @@
+// Fixture: S2 true positive — a raw scoped fan-out with a
+// scheduling-order merge.
+pub fn sum_parallel(xs: &[u64]) -> u64 {
+    let mut total = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = xs.chunks(8).map(|c| scope.spawn(move || c.iter().sum::<u64>())).collect();
+        for h in handles {
+            total += h.join().unwrap();
+        }
+    });
+    total
+}

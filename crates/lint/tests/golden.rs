@@ -1,0 +1,141 @@
+//! Golden-file tests: each rule gets a true-positive and a true-negative
+//! fixture under `tests/fixtures/`. Positives pin the exact (rule, line)
+//! set so a rule that drifts (stops firing, or fires somewhere new) fails
+//! loudly; negatives pin zero violations plus the waiver accounting.
+//!
+//! Fixtures are loaded with `include_str!`, so the tests are independent
+//! of the working directory. The fixture directory itself is excluded
+//! from workspace lints (`engine::in_scope`) — it exists to violate the
+//! rules on purpose.
+
+use dmc_lint::engine::lint_source;
+use dmc_lint::rules::all_rules;
+use dmc_lint::Rule;
+
+/// Runs `src` under the subset of rules named in `filter`.
+fn run(src: &str, filter: &[&str]) -> (Vec<(String, u32)>, usize, usize) {
+    let rules: Vec<Box<dyn Rule>> = all_rules()
+        .into_iter()
+        .filter(|r| filter.contains(&r.id()))
+        .collect();
+    let (violations, used, unused) = lint_source("fixture.rs", src, &rules);
+    (
+        violations.into_iter().map(|v| (v.rule, v.line)).collect(),
+        used,
+        unused.len(),
+    )
+}
+
+#[test]
+fn d1_true_positives() {
+    let (v, _, _) = run(include_str!("fixtures/d1_positive.rs"), &["D1"]);
+    assert_eq!(
+        v,
+        vec![
+            ("D1".to_string(), 4),
+            ("D1".to_string(), 9),
+            ("D1".to_string(), 10),
+        ]
+    );
+}
+
+#[test]
+fn d1_true_negatives_with_waivers_honored() {
+    let (v, used, unused) = run(include_str!("fixtures/d1_negative.rs"), &["D1"]);
+    assert_eq!(v, vec![]);
+    assert_eq!(used, 2, "both waivers must suppress something");
+    assert_eq!(unused, 0);
+}
+
+#[test]
+fn d2_true_positives() {
+    let (v, _, _) = run(include_str!("fixtures/d2_positive.rs"), &["D2"]);
+    assert_eq!(
+        v,
+        vec![
+            ("D2".to_string(), 3),
+            ("D2".to_string(), 7),
+            ("D2".to_string(), 11),
+        ]
+    );
+}
+
+#[test]
+fn d2_true_negatives() {
+    let (v, used, unused) = run(include_str!("fixtures/d2_negative.rs"), &["D2"]);
+    assert_eq!((v, used, unused), (vec![], 0, 0));
+}
+
+#[test]
+fn d3_true_positives() {
+    let (v, _, _) = run(include_str!("fixtures/d3_positive.rs"), &["D3"]);
+    assert_eq!(v, vec![("D3".to_string(), 3), ("D3".to_string(), 8)]);
+}
+
+#[test]
+fn d3_true_negatives() {
+    let (v, used, unused) = run(include_str!("fixtures/d3_negative.rs"), &["D3"]);
+    assert_eq!((v, used, unused), (vec![], 0, 0));
+}
+
+#[test]
+fn s1_true_positives() {
+    let (v, _, _) = run(include_str!("fixtures/s1_positive.rs"), &["S1"]);
+    assert_eq!(
+        v,
+        vec![
+            ("S1".to_string(), 3),
+            ("S1".to_string(), 7),
+            ("S1".to_string(), 11),
+            ("S1".to_string(), 15),
+        ]
+    );
+}
+
+#[test]
+fn s1_true_negatives_with_waiver_honored() {
+    let (v, used, unused) = run(include_str!("fixtures/s1_negative.rs"), &["S1"]);
+    assert_eq!(v, vec![]);
+    assert_eq!(used, 1);
+    assert_eq!(unused, 0);
+}
+
+#[test]
+fn s2_true_positive() {
+    let (v, _, _) = run(include_str!("fixtures/s2_positive.rs"), &["S2"]);
+    assert_eq!(v, vec![("S2".to_string(), 5)]);
+}
+
+#[test]
+fn s2_true_negative() {
+    let (v, used, unused) = run(include_str!("fixtures/s2_negative.rs"), &["S2"]);
+    assert_eq!((v, used, unused), (vec![], 0, 0));
+}
+
+/// Re-introducing a violation next to a fixture's waiver keeps failing:
+/// a waiver covers exactly one line, not a region.
+#[test]
+fn waivers_do_not_leak_beyond_their_line() {
+    let src = format!(
+        "{}\npub fn fresh(o: Option<u8>) -> u8 {{ o.unwrap() }}\n",
+        include_str!("fixtures/s1_negative.rs")
+    );
+    let (v, _, _) = run(&src, &["S1"]);
+    assert_eq!(v.len(), 1, "appended violation must surface: {v:?}");
+}
+
+/// Deleting a waiver whose violation remains turns the fixture red — the
+/// drift direction the CI gate guards against.
+#[test]
+fn deleting_a_waiver_resurfaces_the_violation() {
+    let stripped: String = include_str!("fixtures/s1_negative.rs")
+        .lines()
+        .map(|l| match l.find("// dmc-lint:") {
+            Some(i) => l[..i].to_string(),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let (v, _, _) = run(&stripped, &["S1"]);
+    assert_eq!(v, vec![("S1".to_string(), 18)]);
+}

@@ -1,0 +1,91 @@
+//! Property tests for the lossless lexer: `render(tokenize(s)) == s`.
+//!
+//! Two generators: (1) fully arbitrary character soup — the lexer is
+//! total, so even garbage must round-trip byte-for-byte; (2) structured
+//! Rust-flavored snippets that concentrate probability mass on the
+//! constructs rules care about (strings with escapes, raw strings,
+//! nested comments, lifetimes vs char literals, waiver comments).
+
+use dmc_lint::lexer::{render, tokenize, TokenKind};
+use proptest::prelude::*;
+
+/// Character soup heavy on lexer metacharacters.
+fn arb_soup() -> impl Strategy<Value = String> {
+    const PALETTE: [char; 24] = [
+        '"', '\'', '\\', '/', '*', '#', 'r', 'b', '_', 'a', '9', '.', '!', '(', ')', '{', '}',
+        '\n', ' ', ':', '<', '>', 'é', 'λ',
+    ];
+    (0usize..64).prop_flat_map(|len| {
+        proptest::collection::vec(0usize..PALETTE.len(), len)
+            .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+    })
+}
+
+/// Rust-flavored snippets, concatenated.
+fn arb_snippets() -> impl Strategy<Value = String> {
+    const SNIPPETS: [&str; 18] = [
+        "fn f(x: u64) -> u64 { x + 1 }\n",
+        "let s = \"str with \\\" escape and \\\\ backslash\";",
+        "let r = r#\"raw \" with quote\"#;",
+        "let b = b\"bytes\"; let c = b'x';",
+        "/* outer /* nested */ comment */",
+        "// dmc-lint: allow(d1, s1) -- justified waiver\n",
+        "let life: &'static str = \"x\";",
+        "let ch = '\\n'; let ch2 = 'q';",
+        "m.get(&k).copied().unwrap_or(0);",
+        "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n",
+        "let n = 1_000.5e-3f64;",
+        "let h: HashMap<u32, u32> = HashMap::new();",
+        "std::thread::scope(|s| {});",
+        "let r#match = 0;",
+        "println!(\"{}\", 'a');",
+        "for i in 0..10 {}\n",
+        "let t = a.partial_cmp(&b);",
+        "\t\n  \n",
+    ];
+    (1usize..12).prop_flat_map(|len| {
+        proptest::collection::vec(0usize..SNIPPETS.len(), len)
+            .prop_map(|ix| ix.into_iter().map(|i| SNIPPETS[i]).collect())
+    })
+}
+
+proptest! {
+    #[test]
+    fn soup_roundtrips(src in arb_soup()) {
+        prop_assert_eq!(render(&tokenize(&src)), src);
+    }
+
+    #[test]
+    fn snippets_roundtrip_and_lex_deterministically(src in arb_snippets()) {
+        prop_assert_eq!(render(&tokenize(&src)), src.clone());
+        let toks = tokenize(&src);
+        prop_assert_eq!(&toks, &tokenize(&src));
+        // Positions advance monotonically in (line, col) order.
+        let mut last = (0u32, 0u32);
+        for t in &toks {
+            prop_assert!(
+                t.line > last.0 || (t.line == last.0 && t.col > last.1),
+                "positions must advance: {:?} after {:?}",
+                (t.line, t.col),
+                last
+            );
+            last = (t.line, t.col);
+        }
+    }
+
+    #[test]
+    fn string_and_comment_tokens_never_split(src in arb_snippets()) {
+        // A string/comment token's text must carry its delimiter — i.e.
+        // rule-relevant identifiers can never leak out of literals.
+        for t in tokenize(&src) {
+            match t.kind {
+                TokenKind::Str => prop_assert!(
+                    t.text.starts_with('"') || t.text.starts_with('r') || t.text.starts_with('b')
+                ),
+                TokenKind::LineComment => prop_assert!(t.text.starts_with("//")),
+                TokenKind::BlockComment => prop_assert!(t.text.starts_with("/*")),
+                _ => {}
+            }
+        }
+    }
+}

@@ -108,6 +108,7 @@ impl MemoryHierarchy {
             Level::new("fast", 1, s),
             Level::new("slow", 1, u64::MAX),
         ])
+        // dmc-lint: allow(s1) -- literal two-level configuration with positive capacities and unit counts; validation cannot fail
         .expect("two-level hierarchy is always valid")
     }
 
@@ -119,6 +120,7 @@ impl MemoryHierarchy {
             Level::new("shared-cache", 1, s2),
             Level::new("DRAM", 1, u64::MAX),
         ])
+        // dmc-lint: allow(s1) -- literal multicore configuration with positive capacities and unit counts; validation cannot fail
         .expect("multicore hierarchy is always valid")
     }
 
@@ -131,6 +133,7 @@ impl MemoryHierarchy {
             Level::new("L2", nodes, s2),
             Level::new("DRAM", nodes, s3),
         ])
+        // dmc-lint: allow(s1) -- literal cluster configuration with positive capacities and unit counts; validation cannot fail
         .expect("cluster hierarchy is always valid")
     }
 

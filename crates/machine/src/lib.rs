@@ -20,6 +20,7 @@
 //!   physical parameters;
 //! * [`constraint`] — the bandwidth-bound decision rules of Equations 7–10.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

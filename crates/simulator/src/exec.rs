@@ -19,7 +19,6 @@ use crate::lru::LruCache;
 use dmc_cdag::topo::is_valid_topological_order;
 use dmc_cdag::{Cdag, VertexId};
 use dmc_machine::MemoryHierarchy;
-use std::collections::HashSet;
 
 /// Traffic measured by [`simulate`].
 #[derive(Debug, Clone, Default)]
@@ -130,8 +129,11 @@ pub fn simulate(
                 .collect()
         })
         .collect();
-    // Per-node memory contents.
-    let mut in_memory: Vec<HashSet<u64>> = vec![HashSet::new(); nodes];
+    // Per-node memory contents: a dense membership vector indexed by
+    // address (addresses are always vertex indices, so the row length is
+    // `|V|`). Dense instead of a hash set so the structure has no
+    // iteration order to leak — see DESIGN.md, "Determinism contract".
+    let mut in_memory: Vec<Vec<bool>> = vec![vec![false; g.num_vertices()]; nodes];
     let mut report = SimReport {
         vertical_by_link: vec![0; levels - 1],
         horizontal_per_node: vec![0; nodes],
@@ -148,7 +150,7 @@ pub fn simulate(
         if g.is_input(v) {
             let n = node_of(owner[v.index()]);
             home[v.index()] = n;
-            in_memory[n].insert(v.index() as u64);
+            in_memory[n][v.index()] = true;
         }
     }
 
@@ -214,7 +216,7 @@ pub fn simulate(
                     let node = unit * nodes / h.units(k + 1);
                     report.dram_traffic_per_node[node] += 1;
                     report.dram_writebacks_per_node[node] += 1;
-                    in_memory[node].insert(addr);
+                    in_memory[node][addr as usize] = true;
                 }
             }
         }
@@ -227,7 +229,7 @@ fn read_word(
     _g: &Cdag,
     h: &MemoryHierarchy,
     caches: &mut [Vec<LruCache>],
-    in_memory: &mut [HashSet<u64>],
+    in_memory: &mut [Vec<bool>],
     report: &mut SimReport,
     p: usize,
     node: usize,
@@ -251,7 +253,7 @@ fn read_word(
             // homed on this node but still dirty in a peer cache is
             // served intra-node (modeled as a memory access, not a remote
             // get — cache-to-cache transfers stay on-node).
-            if !in_memory[node].contains(&addr) {
+            if !in_memory[node][addr as usize] {
                 let src = home[addr as usize];
                 debug_assert!(
                     src != usize::MAX,
@@ -260,7 +262,7 @@ fn read_word(
                 if src != node {
                     report.horizontal_per_node[node] += 1;
                 }
-                in_memory[node].insert(addr);
+                in_memory[node][addr as usize] = true;
             }
             report.dram_traffic_per_node[node] += 1;
             report.dram_reads_per_node[node] += 1;
@@ -283,7 +285,7 @@ fn read_word(
 fn fill_level(
     h: &MemoryHierarchy,
     caches: &mut [Vec<LruCache>],
-    in_memory: &mut [HashSet<u64>],
+    in_memory: &mut [Vec<bool>],
     report: &mut SimReport,
     p: usize,
     l: usize,
@@ -297,7 +299,7 @@ fn fill_level(
 fn insert_with_writeback(
     h: &MemoryHierarchy,
     caches: &mut [Vec<LruCache>],
-    in_memory: &mut [HashSet<u64>],
+    in_memory: &mut [Vec<bool>],
     report: &mut SimReport,
     p: usize,
     l: usize,
@@ -327,7 +329,7 @@ fn insert_with_writeback(
                 let node = unit_of(p, levels);
                 report.dram_traffic_per_node[node] += 1;
                 report.dram_writebacks_per_node[node] += 1;
-                in_memory[node].insert(ev_addr);
+                in_memory[node][ev_addr as usize] = true;
             }
         }
     }
@@ -336,7 +338,7 @@ fn insert_with_writeback(
 fn write_word(
     h: &MemoryHierarchy,
     caches: &mut [Vec<LruCache>],
-    in_memory: &mut [HashSet<u64>],
+    in_memory: &mut [Vec<bool>],
     report: &mut SimReport,
     p: usize,
     addr: u64,
@@ -433,6 +435,27 @@ mod tests {
         assert!(r.vertical_by_link[0] > 0, "{r:?}");
         // L1 misses served by L2 exceed L2 misses served by DRAM.
         assert!(r.vertical_by_link[0] >= r.vertical_by_link[1]);
+    }
+
+    /// Regression for the `in_memory` HashSet→dense-Vec conversion (lint
+    /// rule D1): the whole report must be bit-identical across repeated
+    /// runs, including the multi-node path that exercises every
+    /// `in_memory` read and write site.
+    #[test]
+    fn report_is_identical_across_runs() {
+        let g = chains::two_stage(48);
+        let h = MemoryHierarchy::new(vec![
+            Level::new("L1", 4, 4),
+            Level::new("L2", 2, 16),
+            Level::new("mem", 2, u64::MAX),
+        ])
+        .unwrap();
+        let order = topological_order(&g);
+        let owner: Vec<usize> = (0..g.num_vertices()).map(|i| i % 4).collect();
+        let a = simulate(&g, &h, &order, &owner);
+        let b = simulate(&g, &h, &order, &owner);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.total_horizontal() > 0, "multi-node path exercised: {a:?}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   tiling for 1-D Jacobi that realizes the `(2S)^{1/d}` reuse the
 //!   paper's Theorem 10 proves optimal.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

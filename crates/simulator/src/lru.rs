@@ -50,6 +50,11 @@ struct Node {
 /// ```
 pub struct LruCache {
     capacity: usize,
+    // Lookup-only index into the slab: every observable order (eviction,
+    // flush) comes from the recency list per the module's determinism
+    // contract, regression-tested by
+    // `eviction_and_flush_are_instance_independent`.
+    // dmc-lint: allow(d1) -- O(1) address index; no iteration order escapes (see module docs)
     map: HashMap<u64, u32>,
     slab: Vec<Node>,
     free: Vec<u32>,
@@ -63,6 +68,7 @@ impl LruCache {
         assert!(capacity > 0, "cache capacity must be positive");
         LruCache {
             capacity,
+            // dmc-lint: allow(d1) -- constructs the waived lookup-only index above
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
             free: Vec::new(),

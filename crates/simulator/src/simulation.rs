@@ -84,6 +84,7 @@ impl fmt::Display for CachePolicy {
 
 /// Traffic measured by one [`Simulation::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use = "a simulated trace is the measurement; dropping it wastes the run"]
 pub struct Trace {
     /// Words fetched from slow memory (input firings + reloads of
     /// spilled values).
@@ -344,6 +345,7 @@ impl Simulation {
             .resident_list
             .iter()
             .position(|&u| u == v)
+            // dmc-lint: allow(s1) -- victim was drawn from the resident list by the selection above; absence is a bookkeeping bug
             .expect("resident list consistent");
         self.resident_list.swap_remove(at);
     }
@@ -412,6 +414,7 @@ impl Simulation {
                 best = Some(u);
             }
         }
+        // dmc-lint: allow(s1) -- the feasibility check at entry guarantees at least one unpinned resident exists
         best.expect("feasibility check guarantees an unpinned resident")
     }
 }

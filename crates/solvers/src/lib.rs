@@ -19,6 +19,7 @@
 //! * [`heat`] — the 1-D heat-equation driver of Section 5.1 / Figure 2:
 //!   Crank–Nicolson time stepping over the tridiagonal system.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -52,24 +52,28 @@ pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
 /// Threshold below which the parallel variants fall back to sequential.
 const PAR_THRESHOLD: usize = 1 << 15;
 
-/// Parallel dot product over `threads` scoped workers.
+/// Parallel dot product over `threads` scoped workers. Per-chunk partials
+/// are merged in chunk-index order via [`dmc_cdag::fanout::fan_out_indexed`],
+/// so the floating-point sum is bit-identical to the single-threaded
+/// chunked sum at any worker count (lint rule S2).
 pub fn par_dot(x: &[f64], y: &[f64], threads: usize) -> f64 {
     assert_eq!(x.len(), y.len());
     if threads <= 1 || x.len() < PAR_THRESHOLD {
         return dot(x, y);
     }
     let chunk = x.len().div_ceil(threads);
-    let mut partials = vec![0.0f64; threads];
-    std::thread::scope(|scope| {
-        for (i, p) in partials.iter_mut().enumerate() {
-            let xs = &x[(i * chunk).min(x.len())..((i + 1) * chunk).min(x.len())];
-            let ys = &y[(i * chunk).min(y.len())..((i + 1) * chunk).min(y.len())];
-            scope.spawn(move || {
-                *p = dot(xs, ys);
-            });
-        }
-    });
-    partials.into_iter().sum()
+    dmc_cdag::fanout::fan_out_indexed(
+        threads,
+        threads,
+        || (),
+        |_, i| {
+            let lo = (i * chunk).min(x.len());
+            let hi = ((i + 1) * chunk).min(x.len());
+            dot(&x[lo..hi], &y[lo..hi])
+        },
+    )
+    .into_iter()
+    .sum()
 }
 
 /// Parallel axpy over `threads` scoped workers.
@@ -79,6 +83,7 @@ pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
         return axpy(alpha, x, y);
     }
     let chunk = x.len().div_ceil(threads);
+    // dmc-lint: allow(s2) -- no merge exists: workers write disjoint &mut slices of y in place, so the result is independent of scheduling order by construction
     std::thread::scope(|scope| {
         let mut rest = &mut y[..];
         let mut offset = 0usize;
@@ -143,6 +148,28 @@ mod tests {
         axpy(1.5, &x, &mut y1);
         par_axpy(1.5, &x, &mut y2, 4);
         assert_eq!(max_abs_diff(&y1, &y2), 0.0);
+    }
+
+    /// Regression for routing `par_dot` through `fan_out_indexed` (lint
+    /// rule S2): the parallel result is bit-identical to the sequential
+    /// chunk-ordered sum — not merely within tolerance — at every thread
+    /// count, because partials are merged in chunk-index order.
+    #[test]
+    fn par_dot_merge_is_bitwise_chunk_ordered() {
+        let n = 1usize << 16;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+        for t in [2usize, 3, 8] {
+            let chunk = n.div_ceil(t);
+            let expected: f64 = (0..t)
+                .map(|i| {
+                    let lo = (i * chunk).min(n);
+                    let hi = ((i + 1) * chunk).min(n);
+                    dot(&x[lo..hi], &y[lo..hi])
+                })
+                .sum();
+            assert_eq!(par_dot(&x, &y, t).to_bits(), expected.to_bits(), "t={t}");
+        }
     }
 
     #[test]

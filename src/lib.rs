@@ -10,6 +10,8 @@
 //! * [`solvers`] — numerical solvers (CG, GMRES, Jacobi, heat equation).
 //! * [`sim`] — execution-driven memory-hierarchy simulator.
 
+#![forbid(unsafe_code)]
+
 pub use dmc_cdag as cdag;
 pub use dmc_core as core;
 pub use dmc_kernels as kernels;
