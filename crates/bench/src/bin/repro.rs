@@ -4,11 +4,13 @@
 //!
 //! Usage:
 //! ```text
-//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|analyze|catalog|simulate|partition|parallel|figures|all]
+//! repro [table1|sec3|cg|gmres|jacobi|pebbling|mincut|analyze|catalog|simulate|scale|partition|parallel|figures|all]
 //!       [--threads N]
 //! repro list
 //! repro analyze <file.cdag> [--sram S] [--threads N] [--format text|json]
+//!               [--hierarchical [--clusters K]]
 //! repro analyze --kernel '<spec>' [--sram S] [--threads N] [--format text|json]
+//!               [--hierarchical [--clusters K]] [--max-vertices N]
 //! repro simulate --kernel '<spec>' [--sram-sweep lo:hi:step] [--policy lru|opt]
 //!                [--threads N] [--format text|json]
 //! repro lint [--format text|json] [--rules d1,d2,...]
@@ -20,7 +22,14 @@
 //! the pipeline table over the seed kernels; with a `.cdag` file or a
 //! `--kernel` spec (e.g. `jacobi(n=8,d=2,t=4)` — see `repro list` for the
 //! catalog) it reports the full provenance tree (`--format json` for
-//! machine-readable output). `simulate` executes the kernel's schedule
+//! machine-readable output). `--hierarchical` switches that report to
+//! the partition → per-cluster portfolio → Theorem-2 composition
+//! pipeline (`--clusters K` pins the cluster count), `--max-vertices N`
+//! raises or lowers the catalog's build-admission limit, and `scale`
+//! runs the E16 curve of sparse random DAGs from 2^20 past 10^7
+//! vertices through the hierarchical mode. The binary also records
+//! wall-clock perf snapshots as `BENCH_<experiment>.json` (in
+//! `$DMC_BENCH_DIR`, default the current directory). `simulate` executes the kernel's schedule
 //! hook on the cache simulator across the S-sweep and sandwiches the
 //! measured I/O between the certified lower and upper bounds (the sweep
 //! defaults to three octaves up from the schedule's minimum feasible S;
@@ -35,9 +44,10 @@ use dmc_sim::CachePolicy;
 fn usage_error(msg: &str) -> ! {
     eprintln!(
         "{msg}; expected one of: table1 sec3 cg gmres \
-         jacobi pebbling mincut analyze catalog simulate lint list partition parallel figures \
-         all (plus optional --threads N; analyze also takes \
-         <file.cdag> or --kernel '<spec>', --sram S, --format text|json; \
+         jacobi pebbling mincut analyze catalog simulate scale lint list partition parallel \
+         figures all (plus optional --threads N; analyze also takes \
+         <file.cdag> or --kernel '<spec>', --sram S, --format text|json, \
+         --hierarchical, --clusters K, --max-vertices N; \
          simulate takes --kernel '<spec>', --sram-sweep lo:hi:step, \
          --policy lru|opt, --format text|json; \
          lint takes --format text|json and --rules d1,d2,d3,s1,s2)"
@@ -59,6 +69,9 @@ struct Args {
     sram_sweep: Option<(u64, u64, u64)>,
     policy: Option<CachePolicy>,
     rules: Option<String>,
+    hierarchical: bool,
+    clusters: Option<usize>,
+    max_vertices: Option<u64>,
 }
 
 fn parse_sweep(raw: &str) -> (u64, u64, u64) {
@@ -80,6 +93,9 @@ fn parse_args(args: &[String]) -> Args {
         sram_sweep: None,
         policy: None,
         rules: None,
+        hierarchical: false,
+        clusters: None,
+        max_vertices: None,
     };
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -137,6 +153,25 @@ fn parse_args(args: &[String]) -> Args {
                 let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--rules"));
                 parsed.rules = Some(v);
             }
+            "--hierarchical" => {
+                if inline.is_some() {
+                    usage_error("--hierarchical takes no value");
+                }
+                parsed.hierarchical = true;
+            }
+            "--clusters" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--clusters"));
+                parsed.clusters = Some(v.parse().ok().filter(|&k| k >= 1).unwrap_or_else(|| {
+                    usage_error("--clusters needs a positive integer cluster count")
+                }));
+            }
+            "--max-vertices" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--max-vertices"));
+                parsed.max_vertices =
+                    Some(v.parse().ok().filter(|&m| m >= 1).unwrap_or_else(|| {
+                        usage_error("--max-vertices needs a positive integer vertex count")
+                    }));
+            }
             _ if a.starts_with('-') => usage_error(&format!("unknown flag '{a}'")),
             _ if parsed.experiment.is_none() => parsed.experiment = Some(a.clone()),
             _ if parsed.experiment.as_deref() == Some("analyze") && parsed.file.is_none() => {
@@ -178,6 +213,10 @@ fn run_lint(rules: Option<&str>, format: ReportFormat) -> ! {
 }
 
 fn main() {
+    // Perf-trajectory snapshots (`BENCH_*.json` in `$DMC_BENCH_DIR` or
+    // the current directory) are enabled for the binary only — library
+    // users, unit tests, and criterion benches never write them.
+    dmc_bench::snapshot::enable_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&args);
     let arg = args.experiment.unwrap_or_else(|| "all".to_string());
@@ -212,14 +251,25 @@ fn main() {
     if (args.sram_sweep.is_some() || args.policy.is_some()) && !simulating {
         usage_error("--sram-sweep and --policy only apply to 'simulate'");
     }
+    if args.hierarchical && !analyzing_input {
+        usage_error("--hierarchical only applies to 'analyze <file.cdag>' or 'analyze --kernel'");
+    }
+    if args.clusters.is_some() && !args.hierarchical {
+        usage_error("--clusters needs --hierarchical");
+    }
+    if args.max_vertices.is_some() && !(arg == "analyze" && args.kernel.is_some()) {
+        usage_error(
+            "--max-vertices only applies to 'analyze --kernel' (the catalog admission limit)",
+        );
+    }
     if args.threads.is_some()
         && !matches!(
             arg.as_str(),
-            "mincut" | "analyze" | "catalog" | "simulate" | "all"
+            "mincut" | "analyze" | "catalog" | "simulate" | "scale" | "all"
         )
     {
         usage_error(
-            "--threads only applies to 'mincut', 'analyze', 'catalog', 'simulate', and 'all'",
+            "--threads only applies to 'mincut', 'analyze', 'catalog', 'simulate', 'scale', and 'all'",
         );
     }
     let threads = args.threads.unwrap_or(0);
@@ -232,7 +282,7 @@ fn main() {
             args.format.unwrap_or(ReportFormat::Text),
         );
     }
-    let out = match arg.as_str() {
+    let out = dmc_bench::snapshot::timed(&arg, threads, || match arg.as_str() {
         "table1" => dmc_bench::table1(),
         "sec3" => dmc_bench::sec3_composite(&[2, 4, 8]),
         "cg" => dmc_bench::cg_experiment(),
@@ -243,18 +293,27 @@ fn main() {
         "analyze" => {
             let sram = args.sram.unwrap_or(4);
             let format = args.format.unwrap_or(ReportFormat::Text);
+            let opts = dmc_bench::AnalyzeOptions {
+                hierarchical: args.hierarchical,
+                clusters: args.clusters,
+                max_vertices: args.max_vertices,
+            };
             match (&args.kernel, &args.file) {
-                (Some(spec), None) => dmc_bench::analyze_kernel_spec(spec, sram, threads, format)
-                    .unwrap_or_else(|e| {
-                        // Bad specs are usage errors: loud message, exit 2.
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }),
-                (None, Some(path)) => dmc_bench::analyze_file(path, sram, threads, format)
-                    .unwrap_or_else(|e| {
-                        eprintln!("{e}");
-                        std::process::exit(1);
-                    }),
+                (Some(spec), None) => {
+                    dmc_bench::analyze_kernel_spec_with(spec, sram, threads, format, opts)
+                        .unwrap_or_else(|e| {
+                            // Bad specs are usage errors: loud message, exit 2.
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        })
+                }
+                (None, Some(path)) => dmc_bench::analyze_file_with(
+                    path, sram, threads, format, opts,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }),
                 _ => dmc_bench::analyze_experiment_with(threads),
             }
         }
@@ -272,12 +331,13 @@ fn main() {
                     std::process::exit(2);
                 })
         }
+        "scale" => dmc_bench::scale_experiment_with(threads),
         "list" => dmc_bench::list_catalog(),
         "partition" => dmc_bench::partition_experiment(),
         "parallel" => dmc_bench::parallel_experiment(),
         "figures" | "fig1" | "fig2" | "solvers" => dmc_bench::figures(),
         "all" => dmc_bench::run_all_with(threads),
         other => usage_error(&format!("unknown experiment '{other}'")),
-    };
+    });
     print!("{out}");
 }

@@ -507,18 +507,46 @@ pub fn analyze_file(
     threads: usize,
     format: ReportFormat,
 ) -> Result<String, String> {
-    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    analyze_file_with(path, sram, threads, format, AnalyzeOptions::default())
+}
+
+/// [`analyze_file`] with the full flag set ([`AnalyzeOptions`]); the
+/// admission-limit override does not apply to files (nothing is built
+/// from parameters) and is ignored here.
+pub fn analyze_file_with(
+    path: &str,
+    sram: u64,
+    threads: usize,
+    format: ReportFormat,
+    opts: AnalyzeOptions,
+) -> Result<String, String> {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig, HierarchicalOptions};
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let g = dmc_cdag::textio::from_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    let report = Analyzer::new(AnalyzerConfig {
+    let analyzer = Analyzer::new(AnalyzerConfig {
         sram,
         threads,
         verdicts: true,
         ..AnalyzerConfig::default()
-    })
-    .analyze(&g);
+    });
+    let report = if opts.hierarchical {
+        let hopts = HierarchicalOptions {
+            clusters: opts.clusters,
+            ..HierarchicalOptions::default()
+        };
+        analyzer.analyze_hierarchical(&g, &hopts)
+    } else {
+        analyzer.analyze(&g)
+    };
     Ok(match format {
-        ReportFormat::Text => format!("== repro analyze {path} ==\n{report}"),
+        ReportFormat::Text => {
+            let mode = if opts.hierarchical {
+                " --hierarchical"
+            } else {
+                ""
+            };
+            format!("== repro analyze {path}{mode} ==\n{report}")
+        }
         ReportFormat::Json => {
             let mut json = serde::json::to_string(&report);
             json.push('\n');
@@ -533,6 +561,100 @@ pub fn list_catalog() -> String {
     Registry::shared().format_catalog()
 }
 
+/// The spec strings of the E16 scale curve: sparse random layered DAGs
+/// from 2^20 up past 10^7 vertices (layers × 65536-wide layers, expected
+/// in-degree 3). Shared with `benches/hierarchical.rs` so the bench and
+/// the table measure the same graphs.
+pub const E16_LAYERS: [usize; 4] = [16, 40, 80, 160];
+
+/// Renders one E16 spec string for a layer count.
+pub fn e16_spec(layers: usize) -> String {
+    format!("random(layers={layers},width=65536,deg=3,seed=7)")
+}
+
+/// E16 — the hierarchical scale curve with automatic thread count.
+pub fn scale_experiment() -> String {
+    scale_experiment_with(0)
+}
+
+/// E16 — `analyze --hierarchical` over the sparse random scale curve:
+/// 2^20 up to ≥10^7 vertices through build + hierarchical analysis. The
+/// structural columns (|V|, |E|, clusters, bound) are deterministic;
+/// only the wall-clock columns vary between runs, and those are also
+/// recorded machine-readably as `BENCH_scale_points.json` when the
+/// `repro` binary enabled snapshots. Not part of `repro all` — the top
+/// row alone builds a 10.5M-vertex graph.
+pub fn scale_experiment_with(threads: usize) -> String {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig, HierarchicalOptions};
+    use serde::json::Value;
+    use serde::Serialize as _;
+    let mut out =
+        String::from("== E16: hierarchical scale curve (sparse random layered DAGs) ==\n");
+    out.push_str(
+        "spec                                      |V|        |E|        K    bound      build-s  analyze-s\n",
+    );
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        sram: 4,
+        threads,
+        ..AnalyzerConfig::default()
+    });
+    let registry = Registry::shared();
+    let mut rows: Vec<Value> = Vec::new();
+    for layers in E16_LAYERS {
+        let spec = e16_spec(layers);
+        let parsed = registry
+            .parse(&spec)
+            // dmc-lint: allow(s1) -- hardcoded E16 spec strings, all under the default 2^24 admission limit; parse failure is a broken fixture
+            .expect("E16 specs fit the default admission limit");
+        // dmc-lint: allow(d2) -- wall-clock columns of the scale table; the report explicitly documents that only these columns may vary between runs
+        let t0 = std::time::Instant::now();
+        let g = parsed.build();
+        let build_s = t0.elapsed().as_secs_f64();
+        // dmc-lint: allow(d2) -- wall-clock columns of the scale table; the report explicitly documents that only these columns may vary between runs
+        let t1 = std::time::Instant::now();
+        let r = analyzer.analyze_hierarchical(&g, &HierarchicalOptions::default());
+        let analyze_s = t1.elapsed().as_secs_f64();
+        // dmc-lint: allow(s1) -- analyze_hierarchical on a non-empty graph always attaches the hierarchy level
+        let h = r.hierarchy.as_ref().expect("hierarchical report");
+        let _ = writeln!(
+            out,
+            "{spec:<41} {:<10} {:<10} {:<4} {:<10} {build_s:<8.1} {analyze_s:.1}",
+            r.vertices, r.edges, h.cluster_count, r.bound.value
+        );
+        rows.push(Value::object([
+            ("spec", spec.to_json()),
+            ("vertices", r.vertices.to_json()),
+            ("edges", r.edges.to_json()),
+            ("clusters", h.cluster_count.to_json()),
+            ("bound", r.bound.value.to_json()),
+            ("build_s", build_s.to_json()),
+            ("analyze_s", analyze_s.to_json()),
+        ]));
+    }
+    crate::snapshot::write("scale_points", &rows);
+    out.push_str(
+        "(hierarchical mode: Theorem-2 composition over 65536-vertex interval\n\
+         clusters + the whole-graph wavefront where admitted; the bound columns\n\
+         are deterministic, the timing columns are wall clock)\n",
+    );
+    out
+}
+
+/// Mode switches for [`analyze_kernel_spec_with`] beyond the S/thread
+/// knobs — the `repro analyze` flags that change *which* pipeline runs
+/// or *what* the catalog admits, not how the result is printed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeOptions {
+    /// Run the hierarchical pipeline (`--hierarchical`).
+    pub hierarchical: bool,
+    /// Explicit cluster count for hierarchical mode (`--clusters K`;
+    /// `None` = one cluster per `DEFAULT_CLUSTER_SIZE` vertices).
+    pub clusters: Option<usize>,
+    /// Override of the catalog admission limit (`--max-vertices N`;
+    /// `None` = [`dmc_kernels::catalog::DEFAULT_MAX_BUILD_VERTICES`]).
+    pub max_vertices: Option<u64>,
+}
+
 /// Analyzes a catalog kernel spec end to end with the unified pipeline —
 /// the `repro analyze --kernel <spec>` backend. A bad spec returns
 /// `Err` with the catalog's loud message (the CLI exits 2 on it, like
@@ -543,20 +665,51 @@ pub fn analyze_kernel_spec(
     threads: usize,
     format: ReportFormat,
 ) -> Result<String, String> {
-    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
-    let report = Analyzer::new(AnalyzerConfig {
+    analyze_kernel_spec_with(spec, sram, threads, format, AnalyzeOptions::default())
+}
+
+/// [`analyze_kernel_spec`] with the full flag set: hierarchical mode,
+/// explicit cluster count, and a raised/lowered admission limit.
+pub fn analyze_kernel_spec_with(
+    spec: &str,
+    sram: u64,
+    threads: usize,
+    format: ReportFormat,
+    opts: AnalyzeOptions,
+) -> Result<String, String> {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig, HierarchicalOptions};
+    use dmc_kernels::catalog::DEFAULT_MAX_BUILD_VERTICES;
+    let parsed = Registry::shared()
+        .parse_within(
+            spec,
+            opts.max_vertices.unwrap_or(DEFAULT_MAX_BUILD_VERTICES),
+        )
+        .map_err(|e| format!("{e}\n(run `repro list` for the catalog)"))?;
+    let analyzer = Analyzer::new(AnalyzerConfig {
         sram,
         threads,
         verdicts: true,
         ..AnalyzerConfig::default()
-    })
-    .analyze_spec(spec)
-    .map_err(|e| format!("{e}\n(run `repro list` for the catalog)"))?;
+    });
+    let report = if opts.hierarchical {
+        let hopts = HierarchicalOptions {
+            clusters: opts.clusters,
+            ..HierarchicalOptions::default()
+        };
+        analyzer.analyze_kernel_hierarchical(&parsed, &hopts)
+    } else {
+        analyzer.analyze_kernel(&parsed)
+    };
     Ok(match format {
         ReportFormat::Text => {
-            // dmc-lint: allow(s1) -- analyze_spec attaches kernel provenance to every spec-driven report by construction
+            // dmc-lint: allow(s1) -- analyze_kernel attaches kernel provenance to every spec-driven report by construction
             let canonical = &report.kernel.as_ref().expect("spec-driven report").spec;
-            format!("== repro analyze --kernel {canonical} ==\n{report}")
+            let mode = if opts.hierarchical {
+                " --hierarchical"
+            } else {
+                ""
+            };
+            format!("== repro analyze --kernel {canonical}{mode} ==\n{report}")
         }
         ReportFormat::Json => {
             let mut json = serde::json::to_string(&report);

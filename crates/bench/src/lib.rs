@@ -8,5 +8,6 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod snapshot;
 
 pub use experiments::*;

@@ -100,6 +100,24 @@ impl CdagBuilder {
         id
     }
 
+    /// Bulk-adds `count` untagged, *unlabeled* vertices and returns the
+    /// id of the first one (ids are consecutive) — the streaming path
+    /// for generators emitting 10⁷–10⁸-vertex graphs, where one heap
+    /// `String` per vertex would dominate both time and memory. Empty
+    /// labels never allocate; [`Cdag::label`] renders them as `""`.
+    pub fn add_vertices(&mut self, count: usize) -> VertexId {
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.resize(self.labels.len() + count, String::new());
+        id
+    }
+
+    /// Reserves capacity for at least `additional` more edges — pairs
+    /// with [`CdagBuilder::add_vertices`] so large streamed builds do
+    /// their edge allocation once instead of doubling through it.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
     /// Adds a vertex tagged as an input.
     pub fn add_input(&mut self, label: impl Into<String>) -> VertexId {
         let id = self.add_vertex(label);

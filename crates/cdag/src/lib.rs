@@ -34,6 +34,8 @@
 //! * weakly-connected components for automatic decomposition
 //!   ([`components`]),
 //! * induced sub-CDAGs and quotient graphs for decomposition ([`subgraph`]),
+//! * cluster contraction into annotated super-vertex DAGs for the
+//!   hierarchical pipeline ([`coarsen`]),
 //! * Graphviz DOT export ([`dot`]).
 
 #![forbid(unsafe_code)]
@@ -42,6 +44,7 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod coarsen;
 pub mod components;
 pub mod cut;
 pub mod dominator;
@@ -57,6 +60,7 @@ pub mod topo;
 
 pub use bitset::BitSet;
 pub use builder::CdagBuilder;
+pub use coarsen::{coarsen, CoarseDag};
 pub use components::{weakly_connected_components, Components};
 pub use cut::{ConvexCut, Wavefront};
 pub use engine::{EngineRun, WavefrontEngine};

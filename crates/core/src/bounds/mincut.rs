@@ -240,6 +240,7 @@ mod tests {
                 untagged(&random_layered(RandomDagConfig {
                     layers: 5,
                     width: 6,
+                    deg: 0,
                     edge_prob: 0.35,
                     seed: 1234,
                 })),

@@ -101,6 +101,34 @@ pub fn greedy_partition(g: &Cdag, order: &[VertexId], s: usize) -> SPartition {
     SPartition { blocks }
 }
 
+/// Topological interval clustering: splits `order` (must be a
+/// topological order of `g`) into `clusters` contiguous intervals of
+/// (near-)equal size and returns the per-vertex cluster assignment.
+///
+/// Unlike [`greedy_partition`] this covers **all** vertices — inputs
+/// included — because its consumer is Theorem 2's disjoint-partition
+/// composition (which needs a total cover), not Definition 5's
+/// S-partition. Because clusters are contiguous intervals of a
+/// topological order, every edge goes from a cluster to itself or a
+/// later one, so the quotient is acyclic by construction — exactly the
+/// precondition `dmc_cdag::coarsen` certifies.
+///
+/// `clusters` is clamped to `1..=|V|`; the assignment is deterministic
+/// given `order` (the pipeline feeds the Kahn order, itself
+/// deterministic).
+pub fn topological_clusters(g: &Cdag, order: &[VertexId], clusters: usize) -> Vec<usize> {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "order must cover every vertex");
+    let k = clusters.clamp(1, n.max(1));
+    let mut assignment = vec![0usize; n];
+    for (pos, v) in order.iter().enumerate() {
+        // Balanced intervals: cluster of position p is ⌊p·k/n⌋, which
+        // yields k non-empty intervals whose sizes differ by at most 1.
+        assignment[v.index()] = pos * k / n;
+    }
+    assignment
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +185,29 @@ mod tests {
         let h_small = greedy_partition(&g, &order, 8).num_blocks();
         let h_large = greedy_partition(&g, &order, 64).num_blocks();
         assert!(h_large < h_small, "{h_large} !< {h_small}");
+    }
+
+    #[test]
+    fn topological_clusters_cover_and_contract() {
+        let g = matmul::matmul(4);
+        let order = topological_order(&g);
+        for k in [1usize, 2, 5, 16] {
+            let assignment = topological_clusters(&g, &order, k);
+            assert_eq!(assignment.len(), g.num_vertices());
+            let kk = k.min(g.num_vertices());
+            // Every cluster non-empty, numbering contiguous.
+            let mut sizes = vec![0usize; kk];
+            for &c in &assignment {
+                sizes[c] += 1;
+            }
+            assert!(sizes.iter().all(|&s| s > 0), "k = {k}: {sizes:?}");
+            // Interval clustering of a topo order contracts cleanly.
+            let coarse = dmc_cdag::coarsen::coarsen(&g, &assignment, kk).expect("acyclic quotient");
+            assert_eq!(coarse.graph.num_vertices(), kk);
+        }
+        // Oversized k clamps to |V|.
+        let assignment = topological_clusters(&g, &order, 10 * g.num_vertices());
+        assert_eq!(assignment.iter().max().copied(), Some(g.num_vertices() - 1));
     }
 
     #[test]

@@ -47,25 +47,18 @@ use dmc_cdag::{Cdag, VertexId};
 use std::fmt;
 use std::sync::OnceLock;
 
-/// Largest approximate vertex count [`Kernel::validate`] implementations
-/// accept for a single build — a guardrail so a typo in a spec string
-/// (`jacobi(n=4096,d=4)`) errors loudly instead of exhausting memory.
-pub const MAX_BUILD_VERTICES: u64 = 1 << 24;
-
-/// Shared [`Kernel::validate`] helper: rejects builds whose approximate
-/// vertex count overflows or exceeds [`MAX_BUILD_VERTICES`]. Pass the
-/// checked-arithmetic estimate (`None` = overflow).
-pub fn ensure_build_size(approx_vertices: Option<u64>) -> Result<(), String> {
-    match approx_vertices {
-        Some(v) if v <= MAX_BUILD_VERTICES => Ok(()),
-        Some(v) => Err(format!(
-            "build would create ~{v} vertices (limit {MAX_BUILD_VERTICES})"
-        )),
-        None => Err(format!(
-            "build size overflows a u64 vertex count (limit {MAX_BUILD_VERTICES})"
-        )),
-    }
-}
+/// Default *admission limit*: the largest approximate vertex count
+/// [`Registry::parse`] accepts for a single build (`2²⁴ ≈ 1.7 × 10⁷`).
+///
+/// The limit is a guardrail, not a capability ceiling — it exists so a
+/// typo in a spec string (`jacobi(n=4096,d=4)`) errors loudly instead of
+/// exhausting memory, while deliberate large-scale runs (the
+/// hierarchical pipeline targets 10⁷–10⁸ vertices) raise it explicitly
+/// via [`Registry::parse_within`] or the `repro` CLI's `--max-vertices`
+/// flag. Every kernel reports its estimate through the required
+/// [`Kernel::approx_vertices`] method, so the check happens centrally at
+/// parse time, *before* any allocation.
+pub const DEFAULT_MAX_BUILD_VERTICES: u64 = 1 << 24;
 
 /// A validated parameter value: an unsigned integer or one of a declared
 /// choice set (stored as the canonical choice string).
@@ -317,9 +310,18 @@ pub trait Kernel: Send + Sync {
     /// and within range — enforced by [`Registry::parse`]).
     fn build(&self, p: &ParamValues) -> Cdag;
 
-    /// Cross-parameter validation beyond per-parameter ranges (build
-    /// size limits, power-of-two constraints). Called by
-    /// [`Registry::parse`] after per-parameter validation.
+    /// Approximate vertex count of the CDAG [`build`](Kernel::build)
+    /// would produce, computed with checked arithmetic (`None` = the
+    /// count overflows `u64`). [`Registry::parse_within`] compares this
+    /// estimate against the admission limit centrally, *before* any
+    /// allocation — implementations must therefore never build the
+    /// graph to answer.
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64>;
+
+    /// Cross-parameter validation beyond per-parameter ranges
+    /// (power-of-two constraints, mode/shape interactions). Called by
+    /// [`Registry::parse`] after per-parameter validation and *before*
+    /// the [`Kernel::approx_vertices`] admission check.
     fn validate(&self, _p: &ParamValues) -> Result<(), String> {
         Ok(())
     }
@@ -643,6 +645,16 @@ impl Registry {
     /// assert!(err.to_string().contains("not an unsigned integer"));
     /// ```
     pub fn parse(&self, spec: &str) -> Result<KernelSpec<'_>, SpecError> {
+        self.parse_within(spec, DEFAULT_MAX_BUILD_VERTICES)
+    }
+
+    /// [`Registry::parse`] with an explicit admission limit: the parsed
+    /// spec is rejected when [`Kernel::approx_vertices`] exceeds
+    /// `max_vertices` (or overflows `u64`). [`Registry::parse`] is this
+    /// with [`DEFAULT_MAX_BUILD_VERTICES`]; large-scale callers (the
+    /// hierarchical pipeline, `repro analyze --max-vertices`) raise the
+    /// limit deliberately instead of editing a constant.
+    pub fn parse_within(&self, spec: &str, max_vertices: u64) -> Result<KernelSpec<'_>, SpecError> {
         let trimmed = spec.trim();
         let syntax = |reason: &str| SpecError::Syntax {
             spec: spec.to_string(),
@@ -719,6 +731,28 @@ impl Registry {
                 kernel: kernel.name(),
                 reason,
             })?;
+        match kernel.approx_vertices(&values) {
+            Some(v) if v <= max_vertices => {}
+            Some(v) => {
+                return Err(SpecError::Invalid {
+                    kernel: kernel.name(),
+                    reason: format!(
+                        "build would create ~{v} vertices, above the admission limit of \
+                         {max_vertices} (default {DEFAULT_MAX_BUILD_VERTICES} = 2^24; raise it \
+                         with --max-vertices or Registry::parse_within)"
+                    ),
+                })
+            }
+            None => {
+                return Err(SpecError::Invalid {
+                    kernel: kernel.name(),
+                    reason: format!(
+                        "approximate vertex count overflows u64 — far above the admission \
+                         limit of {max_vertices}"
+                    ),
+                })
+            }
+        }
         Ok(KernelSpec { kernel, values })
     }
 

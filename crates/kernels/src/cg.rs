@@ -12,9 +12,7 @@
 //!    min-wavefront `n^d`);
 //! 6. `p ← r' + g·p`           — saxpy.
 
-use crate::catalog::{
-    ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues, ProfileContext,
-};
+use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues, ProfileContext};
 use crate::grid::{Grid, Stencil};
 use crate::profile::{cg_profile, AlgorithmProfile};
 use crate::vecops::{dot, saxpy};
@@ -147,10 +145,10 @@ impl Kernel for CgKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
         let npts = p.uint("n").checked_pow(p.uint("d") as u32);
         let per_iter = 12 * p.uint("t") + 3;
-        ensure_build_size(npts.and_then(|v| v.checked_mul(per_iter)))
+        npts.and_then(|v| v.checked_mul(per_iter))
     }
 
     fn build(&self, p: &ParamValues) -> Cdag {

@@ -1,7 +1,7 @@
 //! Small synthetic CDAG shapes with hand-computable optimal I/O, used to
 //! validate the pebble-game engines and lower-bound machinery.
 
-use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// A simple chain `x_0 → x_1 → … → x_{k-1}` with `x_0` an input and the
@@ -124,6 +124,10 @@ impl Kernel for ChainKernel {
         chain(p.usize("k"))
     }
 
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        Some(p.uint("k"))
+    }
+
     fn analytic_upper_bound(&self, _p: &ParamValues, s: u64) -> Option<AnalyticBound> {
         (s >= 2).then(|| AnalyticBound::new(2.0, "load the input, store the output (S >= 2)"))
     }
@@ -147,6 +151,10 @@ impl Kernel for DiamondKernel {
 
     fn build(&self, _p: &ParamValues) -> Cdag {
         diamond()
+    }
+
+    fn approx_vertices(&self, _p: &ParamValues) -> Option<u64> {
+        Some(4)
     }
 
     fn analytic_upper_bound(&self, _p: &ParamValues, s: u64) -> Option<AnalyticBound> {
@@ -190,6 +198,11 @@ impl Kernel for ReductionKernel {
         binary_reduction(p.usize("leaves"))
     }
 
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        // A complete binary tree over `leaves` inputs: 2·leaves − 1.
+        p.uint("leaves").checked_mul(2)
+    }
+
     fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
         // Depth-first left-to-right holds at most one partial per level.
         let leaves = p.uint("leaves");
@@ -223,12 +236,12 @@ impl Kernel for IndependentChainsKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        ensure_build_size(p.uint("k").checked_mul(p.uint("len")))
-    }
-
     fn build(&self, p: &ParamValues) -> Cdag {
         independent_chains(p.usize("k"), p.usize("len"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        p.uint("k").checked_mul(p.uint("len"))
     }
 
     fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
@@ -257,12 +270,12 @@ impl Kernel for LadderKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        ensure_build_size(p.uint("w").checked_mul(p.uint("h")))
-    }
-
     fn build(&self, p: &ParamValues) -> Cdag {
         ladder(p.usize("w"), p.usize("h"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        p.uint("w").checked_mul(p.uint("h"))
     }
 
     fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
@@ -296,6 +309,11 @@ impl Kernel for TwoStageKernel {
 
     fn build(&self, p: &ParamValues) -> Cdag {
         two_stage(p.usize("m"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        // x, m stage-1 values, g.
+        p.uint("m").checked_add(2)
     }
 
     fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {

@@ -16,9 +16,7 @@
 //! rematerialized cheaply from the vectors. This is the paper's motivation
 //! for a decomposition-friendly game (RBW) rather than per-stage analysis.
 
-use crate::catalog::{
-    ensure_build_size, AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues,
-};
+use crate::catalog::{AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues};
 use crate::vecops::reduce_tree;
 use dmc_cdag::topo::complete_order;
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
@@ -105,13 +103,12 @@ impl Kernel for CompositeKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        let n = p.uint("n");
-        ensure_build_size(n.checked_pow(3).and_then(|v| v.checked_mul(2)))
-    }
-
     fn build(&self, p: &ParamValues) -> Cdag {
         composite(p.usize("n"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        p.uint("n").checked_pow(3).and_then(|v| v.checked_mul(2))
     }
 
     fn analytic_lower_bound(&self, p: &ParamValues, _s: u64) -> Option<AnalyticBound> {

@@ -78,6 +78,17 @@ impl Kernel for FftKernel {
         fft(p.usize("n"))
     }
 
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        // n vertices per butterfly stage plus the input layer.
+        let n = p.uint("n");
+        let stages = if n.is_power_of_two() {
+            n.trailing_zeros() as u64
+        } else {
+            64 - n.leading_zeros() as u64
+        };
+        n.checked_mul(stages + 1)
+    }
+
     fn analytic_lower_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
         (s >= 2).then(|| {
             let n = p.usize("n");

@@ -12,9 +12,7 @@
 //! (reduction over `w` and `v_i`, both of which have disjoint paths into
 //! the saxpy of step 3).
 
-use crate::catalog::{
-    ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues, ProfileContext,
-};
+use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues, ProfileContext};
 use crate::grid::{Grid, Stencil};
 use crate::profile::{gmres_profile, AlgorithmProfile};
 use crate::vecops::{dot, scale};
@@ -144,7 +142,7 @@ impl Kernel for GmresKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
         let npts = p.uint("n").checked_pow(p.uint("d") as u32);
         // Iteration i adds ~ (3i + 6) n^d vertices (MGS is quadratic in m).
         let m = p.uint("m");
@@ -152,7 +150,7 @@ impl Kernel for GmresKernel {
             .checked_mul(m + 1)
             .and_then(|mm| mm.checked_mul(3))
             .and_then(|v| v.checked_add(6 * m + 1));
-        ensure_build_size(npts.and_then(|v| per_grid_point.and_then(|p| v.checked_mul(p))))
+        npts.and_then(|v| per_grid_point.and_then(|p| v.checked_mul(p)))
     }
 
     fn build(&self, p: &ParamValues) -> Cdag {

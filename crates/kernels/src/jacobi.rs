@@ -6,8 +6,7 @@
 //! `Q ≥ n^d·T / (4·P·(2S)^{1/d})`.
 
 use crate::catalog::{
-    ensure_build_size, AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues,
-    ProfileContext,
+    AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues, ProfileContext,
 };
 use crate::grid::{Grid, Stencil};
 use crate::profile::{jacobi_profile, AlgorithmProfile};
@@ -240,9 +239,9 @@ impl Kernel for JacobiKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
         let npts = p.uint("n").checked_pow(p.uint("d") as u32);
-        ensure_build_size(npts.and_then(|v| v.checked_mul(p.uint("t") + 1)))
+        npts.and_then(|v| v.checked_mul(p.uint("t") + 1))
     }
 
     fn build(&self, p: &ParamValues) -> Cdag {

@@ -5,9 +5,7 @@
 //! `N³/(2√(2S))` under the 2S-partition argument (Section 3 of the paper
 //! cites `N³/2√(2S)`; see also Irony–Toledo–Tiskin).
 
-use crate::catalog::{
-    ensure_build_size, AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues,
-};
+use crate::catalog::{AnalyticBound, Kernel, KernelSchedule, ParamSpec, ParamValues};
 use crate::vecops::reduce_tree;
 use dmc_cdag::topo::complete_order;
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
@@ -130,9 +128,8 @@ impl Kernel for MatmulKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        let n = p.uint("n");
-        ensure_build_size(n.checked_pow(3).and_then(|v| v.checked_mul(2)))
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        p.uint("n").checked_pow(3).and_then(|v| v.checked_mul(2))
     }
 
     fn build(&self, p: &ParamValues) -> Cdag {

@@ -5,7 +5,7 @@
 //! `A` costs `2N` loads + `N²` stores, *independent of S*, because every
 //! result element is used exactly once.
 
-use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds the CDAG of `A = p·qᵀ` for vectors of length `n`:
@@ -49,13 +49,13 @@ impl Kernel for OuterProductKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        let n = p.uint("n");
-        ensure_build_size(n.checked_mul(n).and_then(|v| v.checked_add(2 * n)))
-    }
-
     fn build(&self, p: &ParamValues) -> Cdag {
         outer_product(p.usize("n"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        let n = p.uint("n");
+        n.checked_mul(n).and_then(|v| v.checked_add(2 * n))
     }
 
     fn analytic_lower_bound(&self, p: &ParamValues, _s: u64) -> Option<AnalyticBound> {

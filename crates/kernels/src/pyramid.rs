@@ -5,7 +5,7 @@
 //! `(k−1, i)` and `(k−1, i+1)`. The r-pyramid generalizes to `r`
 //! predecessors per vertex.
 
-use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Builds an `r`-pyramid of height `h`: level `k` has `r·(h−k) + 1`
@@ -59,18 +59,16 @@ impl Kernel for PyramidKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        let (r, h) = (p.uint("r"), p.uint("h"));
-        // Levels 0..=h of width r(h-k)+1: ~ (h+1)(rh/2 + 1) vertices.
-        let approx = r
-            .checked_mul(h)
-            .and_then(|rh| rh.checked_add(2))
-            .and_then(|base| base.checked_mul(h + 1));
-        ensure_build_size(approx)
-    }
-
     fn build(&self, p: &ParamValues) -> Cdag {
         pyramid(p.usize("r"), p.usize("h"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        let (r, h) = (p.uint("r"), p.uint("h"));
+        // Levels 0..=h of width r(h-k)+1: ~ (h+1)(rh/2 + 1) vertices.
+        r.checked_mul(h)
+            .and_then(|rh| rh.checked_add(2))
+            .and_then(|base| base.checked_mul(h + 1))
     }
 
     fn analytic_lower_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {

@@ -7,7 +7,7 @@
 //! lower-bound machinery differently (chains vs high-fan-out layers), and
 //! the pair forms a natural work-vs-wavefront ablation.
 
-use crate::catalog::{ensure_build_size, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Sequential (chain) inclusive scan over `n` inputs: `n−1` adds, depth
@@ -80,20 +80,30 @@ impl Kernel for ScanKernel {
 
     fn validate(&self, p: &ParamValues) -> Result<(), String> {
         let n = p.uint("n");
-        if p.choice("kind") == "sklansky" {
-            if !n.is_power_of_two() || n < 2 {
-                return Err(format!(
-                    "n = {n} must be a power of two >= 2 for kind=sklansky"
-                ));
-            }
-            // (n/2)·log2(n) internal adds.
-            return ensure_build_size(
-                (n / 2)
-                    .checked_mul(n.trailing_zeros() as u64)
-                    .and_then(|adds| adds.checked_add(n)),
-            );
+        if p.choice("kind") == "sklansky" && (!n.is_power_of_two() || n < 2) {
+            return Err(format!(
+                "n = {n} must be a power of two >= 2 for kind=sklansky"
+            ));
         }
         Ok(())
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        let n = p.uint("n");
+        if p.choice("kind") == "sklansky" {
+            // n inputs + (n/2)·log2(n) internal adds.
+            let stages = if n.is_power_of_two() {
+                n.trailing_zeros() as u64
+            } else {
+                64 - n.leading_zeros() as u64
+            };
+            (n / 2)
+                .checked_mul(stages)
+                .and_then(|adds| adds.checked_add(n))
+        } else {
+            // n inputs + n − 1 sequential adds.
+            n.checked_mul(2)
+        }
     }
 
     fn build(&self, p: &ParamValues) -> Cdag {

@@ -4,7 +4,7 @@
 //! generators compose (one iteration of CG is one SpMV + three dot products
 //! + three saxpies, Figure 3 of the paper).
 
-use crate::catalog::{ensure_build_size, AnalyticBound, Kernel, ParamSpec, ParamValues};
+use crate::catalog::{AnalyticBound, Kernel, ParamSpec, ParamValues};
 use dmc_cdag::{Cdag, CdagBuilder, VertexId};
 
 /// Appends a balanced binary reduction over `items` to `b`; returns the
@@ -116,12 +116,13 @@ impl Kernel for DotProductKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        ensure_build_size(p.uint("n").checked_mul(4))
-    }
-
     fn build(&self, p: &ParamValues) -> Cdag {
         dot_product_cdag(p.usize("n"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        // 2n inputs, n multiplies, ~n−1 tree adds.
+        p.uint("n").checked_mul(4)
     }
 
     fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {
@@ -160,12 +161,13 @@ impl Kernel for SaxpyKernel {
         PARAMS
     }
 
-    fn validate(&self, p: &ParamValues) -> Result<(), String> {
-        ensure_build_size(p.uint("n").checked_mul(3).and_then(|v| v.checked_add(1)))
-    }
-
     fn build(&self, p: &ParamValues) -> Cdag {
         saxpy_cdag(p.usize("n"))
+    }
+
+    fn approx_vertices(&self, p: &ParamValues) -> Option<u64> {
+        // 2n + 1 inputs, n fused ops.
+        p.uint("n").checked_mul(3).and_then(|v| v.checked_add(1))
     }
 
     fn analytic_upper_bound(&self, p: &ParamValues, s: u64) -> Option<AnalyticBound> {

@@ -595,7 +595,7 @@ mod tests {
                 p in 0.1f64..0.7,
                 seed in 0u64..500
             ) {
-                let g = random_layered(RandomDagConfig { layers, width, edge_prob: p, seed });
+                let g = random_layered(RandomDagConfig { layers, width, deg: 0, edge_prob: p, seed });
                 let order = topological_order(&g);
                 let mut pure_outputs = g.outputs().clone();
                 pure_outputs.difference_with(g.inputs());
@@ -617,7 +617,7 @@ mod tests {
                 p in 0.1f64..0.7,
                 seed in 0u64..500
             ) {
-                let g = random_layered(RandomDagConfig { layers, width, edge_prob: p, seed });
+                let g = random_layered(RandomDagConfig { layers, width, deg: 0, edge_prob: p, seed });
                 let order = topological_order(&g);
                 let min_s = min_feasible_capacity(&g) as u64;
                 let mut sim = Simulation::new();

@@ -75,6 +75,7 @@ fn arb_cdag() -> impl Strategy<Value = Cdag> {
         random_layered(RandomDagConfig {
             layers,
             width,
+            deg: 0,
             edge_prob: p,
             seed,
         })
@@ -88,6 +89,7 @@ fn arb_tiny_cdag() -> impl Strategy<Value = Cdag> {
         random_layered(RandomDagConfig {
             layers,
             width,
+            deg: 0,
             edge_prob: p,
             seed,
         })

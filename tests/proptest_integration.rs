@@ -23,6 +23,7 @@ fn arb_cdag() -> impl Strategy<Value = Cdag> {
         random_layered(RandomDagConfig {
             layers,
             width,
+            deg: 0,
             edge_prob: p,
             seed,
         })

@@ -93,6 +93,12 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl Serialize for json::Value {
+    fn to_json(&self) -> json::Value {
+        self.clone()
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_json(&self) -> json::Value {
         (*self).to_json()
