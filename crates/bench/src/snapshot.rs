@@ -7,10 +7,13 @@
 //! ran first, which only the `repro` binary does — library users, unit
 //! tests, and criterion benches never touch the filesystem.
 //!
-//! Each record lands in `$DMC_BENCH_DIR` (or the current directory when
-//! the variable is unset) as `BENCH_<name>.json`, one JSON object per
-//! file, overwritten on every run — the *trajectory* lives in version
-//! control, not in an append log.
+//! Each record lands in `$DMC_BENCH_DIR` (or the workspace root when the
+//! variable is unset, falling back to the current directory outside a
+//! workspace) as `BENCH_<name>.json`, one JSON object per file,
+//! overwritten on every run — the *trajectory* lives in version control,
+//! not in an append log. Anchoring the default at the workspace root
+//! keeps every snapshot in one place no matter which directory `repro`
+//! is invoked from.
 //!
 //! Determinism: wall-clock numbers are inherently run-varying, which is
 //! exactly why they are quarantined in side files instead of the
@@ -24,11 +27,18 @@ use std::sync::OnceLock;
 static BENCH_DIR: OnceLock<PathBuf> = OnceLock::new();
 
 /// Enables snapshot writing for the rest of this process, targeting
-/// `$DMC_BENCH_DIR` (or `.` when unset). Called once by the `repro`
-/// binary's `main`; idempotent, and a no-op everywhere else.
+/// `$DMC_BENCH_DIR` when set, else the enclosing workspace root, else the
+/// current directory. Called once by the `repro` binary's `main`;
+/// idempotent, and a no-op everywhere else.
 pub fn enable_from_env() {
-    let dir = std::env::var("DMC_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
-    let _ = BENCH_DIR.set(PathBuf::from(dir));
+    let dir = match std::env::var("DMC_BENCH_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => std::env::current_dir()
+            .ok()
+            .and_then(|cwd| dmc_lint::find_workspace_root(&cwd))
+            .unwrap_or_else(|| PathBuf::from(".")),
+    };
+    let _ = BENCH_DIR.set(dir);
 }
 
 /// The snapshot directory, when enabled.

@@ -9,6 +9,38 @@
 
 use serde::{Deserialize, Serialize};
 
+/// `dst |= src`, word by word, over two equal-length `u64` slices.
+///
+/// This is the inner step of the word-parallel reachability sweeps in
+/// [`crate::reach::BatchReach`]: each vertex owns a fixed-width row of words
+/// (one bit per anchor in the batch), and propagating a closure along an edge
+/// is a single `union_words` over the two rows.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn union_words(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "union_words length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= *s;
+    }
+}
+
+/// `dst &= src`, word by word, over two equal-length `u64` slices — the
+/// AND-sweep counterpart of [`union_words`], used to compute per-anchor
+/// frontier rows ("all successors inside the region") in
+/// [`crate::reach::BatchReach`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn intersect_words(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "intersect_words length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= *s;
+    }
+}
+
 /// A fixed-capacity set of `usize` indices packed into 64-bit words.
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BitSet {
@@ -154,6 +186,62 @@ impl BitSet {
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Read-only view of the packed 64-bit words (block `i` covers indices
+    /// `64*i .. 64*i + 64`). Bits at or beyond `capacity` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites the 64-bit block `i` (indices `64*i .. 64*i + 64`) with
+    /// `word`. Bits at or beyond `capacity` are masked off, preserving the
+    /// tail invariant relied on by `len`/`is_empty`/`complement`.
+    ///
+    /// # Panics
+    /// Panics if `i` is not a valid block index.
+    #[inline]
+    pub fn set_block(&mut self, i: usize, word: u64) {
+        assert!(
+            i < self.words.len(),
+            "BitSet block {i} out of range {}",
+            self.words.len()
+        );
+        self.words[i] = word;
+        if i + 1 == self.words.len() {
+            self.trim_tail();
+        }
+    }
+
+    /// Iterates `(block_index, word)` pairs for the **non-zero** blocks, in
+    /// increasing block order. Useful for sparse scans over large sets.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, w)| w != 0)
+    }
+
+    /// Iterates `(block_index, xor_word)` for blocks where `self` and
+    /// `other` differ (the symmetric difference, word at a time). This is
+    /// how the warm-started flow solver finds the few vertices whose
+    /// source/sink side changed between adjacent anchors without scanning
+    /// either set element-wise.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn xor_blocks<'a>(&'a self, other: &'a BitSet) -> impl Iterator<Item = (usize, u64)> + 'a {
+        assert_eq!(self.capacity, other.capacity, "BitSet capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .filter_map(|(i, (a, b))| {
+                let d = a ^ b;
+                (d != 0).then_some((i, d))
+            })
     }
 
     /// Iterates over the contained indices in increasing order.
@@ -313,6 +401,49 @@ mod tests {
         let e = BitSet::new(0);
         assert_eq!(e.iter().count(), 0);
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn union_words_ors_in_place() {
+        let mut dst = [0b0011u64, 0];
+        union_words(&mut dst, &[0b0101, 1 << 63]);
+        assert_eq!(dst, [0b0111, 1 << 63]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_words_rejects_length_mismatch() {
+        let mut dst = [0u64];
+        union_words(&mut dst, &[0, 0]);
+    }
+
+    #[test]
+    fn words_and_set_block_roundtrip() {
+        let mut s = BitSet::new(100);
+        s.set_block(0, u64::MAX);
+        s.set_block(1, u64::MAX);
+        // Tail bits beyond capacity are masked: 100 = 64 + 36.
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.words()[0], u64::MAX);
+        assert_eq!(s.words()[1], (1u64 << 36) - 1);
+        assert!(s.contains(99));
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    fn blocks_skips_zero_words() {
+        let s = BitSet::from_indices(200, [1, 130]);
+        let blocks: Vec<_> = s.blocks().collect();
+        assert_eq!(blocks, vec![(0, 1u64 << 1), (2, 1u64 << 2)]);
+    }
+
+    #[test]
+    fn xor_blocks_reports_symmetric_difference() {
+        let a = BitSet::from_indices(200, [1, 64, 130]);
+        let b = BitSet::from_indices(200, [1, 65, 130]);
+        let diff: Vec<_> = a.xor_blocks(&b).collect();
+        assert_eq!(diff, vec![(1, (1u64 << 0) | (1u64 << 1))]);
+        assert_eq!(a.xor_blocks(&a).count(), 0);
     }
 
     #[test]

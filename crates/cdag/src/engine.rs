@@ -5,34 +5,66 @@
 //! independent Dinic max-flows, each rebuilding the `2n + 2`-node split
 //! network and re-deriving the ancestor/descendant bitsets from scratch.
 //! Those flows share no state, so the problem is embarrassingly parallel —
-//! but a useful engine has to get three things right:
+//! but a useful engine has to get four things right:
 //!
-//! 1. **Arena reuse.** Each worker owns one [`FlowNetwork`] arena plus
-//!    reachability scratch (`AnchorScratch`); per-anchor work allocates
-//!    nothing beyond the witness cut (see [`FlowNetwork::reset`]).
-//! 2. **Deterministic merge.** Workers race on a shared anchor queue, but
+//! 1. **Batched reachability.** Anchors are handed to workers in batches of
+//!    up to [`BATCH_WIDTH`]; one pair of word-parallel topological sweeps
+//!    ([`BatchReach`]) computes every anchor's ancestor/descendant closure
+//!    at once, amortizing the `O(|V| + |E|)` traversal across the batch
+//!    instead of running one DFS per anchor.
+//! 2. **Warm-started flows.** Within a batch, anchors are visited in
+//!    topological order, so consecutive split networks differ in only a few
+//!    vertex sides. Each worker owns one [`WarmCut`] solver that patches
+//!    those differences and re-augments the retained flow instead of
+//!    solving from scratch (debug builds cross-check every warm solve
+//!    against a fresh one).
+//! 3. **Deterministic merge.** Workers race on a shared batch queue, but
 //!    the result is merged by `(cut size, anchor position)` — exactly the
 //!    tie-break of the serial baseline's `max_by_key` (last maximum wins) —
-//!    so the engine returns *bit-identical* results at any thread count.
-//! 3. **Best-so-far pruning.** Anchors are scheduled by a cheap per-depth
+//!    and the per-anchor cut witness is the canonical minimal source-side
+//!    cut, so the engine returns *bit-identical* results at any thread
+//!    count.
+//! 4. **Best-so-far pruning.** Anchors are scheduled by a cheap per-depth
 //!    *level-cut width* estimate (an upper bound on `|W^min(x)|`, see
-//!    [`WavefrontEngine::anchor_estimate`]); an anchor whose estimate is
-//!    strictly below the best completed cut can neither beat nor tie it and
-//!    is skipped without touching the flow network. Because only
-//!    provably-dominated anchors are skipped, pruning preserves both the
-//!    maximum and the deterministic tie-break.
+//!    [`WavefrontEngine::anchor_estimate`]); the winner is the maximum by
+//!    `(cut size, anchor position)`, so an anchor with estimate `e` at
+//!    position `p` can contribute at most `(e, p)` — it is skipped without
+//!    touching the flow network whenever `(e, p)` is lexicographically
+//!    below the best completed `(size, position)`. The position tie-break
+//!    makes this bite hard on regular graphs where many anchors tie at the
+//!    maximum: batches are processed highest-position-first, so one solved
+//!    member of the winning tie class dominates the rest of the class. A
+//!    whole batch is skipped before its reachability sweep when its
+//!    `(max estimate, max position)` is dominated. Because only provably-
+//!    dominated anchors are skipped, pruning preserves both the maximum and
+//!    the deterministic tie-break.
 //!
 //! The engine also hosts the adaptive sampling mode
 //! ([`WavefrontEngine::run_adaptive`]): a per-level coarse pass followed by
 //! exhaustive refinement of the depth neighbourhood of the best anchor.
+//!
+//! [`BatchReach`]: crate::reach::BatchReach
+//! [`WarmCut`]: crate::flow::WarmCut
 
 use crate::bitset::BitSet;
 use crate::cut::MinWavefront;
-use crate::flow::{vertex_min_cut_into, FlowNetwork, VertexCut, VertexCutOptions};
+use crate::flow::{VertexCut, WarmCut};
 use crate::graph::{Cdag, VertexId};
-use crate::reach::{ancestors_into, descendants_into};
-use crate::topo::depths;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::reach::BatchReach;
+use crate::topo::{depths, topological_order};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum anchors per worker batch: one `u64` lane per anchor in the
+/// word-parallel reachability sweep.
+pub const BATCH_WIDTH: usize = 64;
+
+/// Packs a `(cut size, anchor position)` pair into one `u64` whose numeric
+/// order is the pair's lexicographic order, so the workers' shared best can
+/// live in a single atomic updated with `fetch_max`.
+#[inline]
+fn pack(size: usize, pos: u32) -> u64 {
+    ((size as u64) << 32) | pos as u64
+}
 
 /// Result of one engine batch: the winning wavefront plus work accounting.
 #[derive(Debug, Clone)]
@@ -51,31 +83,41 @@ pub struct EngineRun {
     pub anchors_evaluated: usize,
 }
 
-/// Per-worker scratch: one flow arena plus reachability buffers, reused
-/// across every anchor the worker processes.
+/// Per-worker scratch: one warm-started flow solver plus the batched
+/// reachability rows, reused across every batch the worker processes.
 struct AnchorScratch {
-    net: FlowNetwork,
-    sources: BitSet,
-    sinks: BitSet,
-    stack: Vec<VertexId>,
+    warm: WarmCut,
+    batch: BatchReach,
+    supply: BitSet,
+    drain: BitSet,
+    blocked: BitSet,
+    /// Anchor vertices of the current batch (parallel to the sweep lanes).
+    xs: Vec<VertexId>,
 }
 
 impl AnchorScratch {
-    fn new(n: usize) -> Self {
+    fn new(g: &Cdag) -> Self {
+        let n = g.num_vertices();
         AnchorScratch {
-            net: FlowNetwork::new(0),
-            sources: BitSet::new(n),
-            sinks: BitSet::new(n),
-            stack: Vec::new(),
+            warm: WarmCut::new(g),
+            batch: BatchReach::new(),
+            supply: BitSet::new(n),
+            drain: BitSet::new(n),
+            blocked: BitSet::new(n),
+            xs: Vec::new(),
         }
     }
 
-    /// [`crate::cut::min_wavefront`] without the per-call allocations.
-    fn min_wavefront(&mut self, g: &Cdag, x: VertexId) -> MinWavefront {
-        ancestors_into(g, x, &mut self.sources, &mut self.stack);
-        self.sources.insert(x.index());
-        descendants_into(g, x, &mut self.sinks, &mut self.stack);
-        if self.sinks.is_empty() {
+    /// [`crate::cut::min_wavefront`] for lane `j` of the current batch,
+    /// warm-started from whatever configuration the solver last held and
+    /// restricted to the frontier roles of the batch sweep.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    fn min_wavefront(&mut self, g: &Cdag, j: usize, x: VertexId) -> MinWavefront {
+        self.batch.fill_drain(j, &mut self.drain);
+        // The drain is empty exactly when the sink side is: every non-empty
+        // sink side contains a successor of the anchor, whose predecessor
+        // `x` is no sink — a frontier sink.
+        if self.drain.is_empty() {
             return MinWavefront {
                 anchor: x,
                 size: 0,
@@ -85,18 +127,36 @@ impl AnchorScratch {
                 },
             };
         }
-        let cut = vertex_min_cut_into(
-            g,
-            &self.sources,
-            &self.sinks,
-            VertexCutOptions {
-                sources_cuttable: true,
-                sinks_cuttable: false,
-            },
-            &mut self.net,
-        )
-        // dmc-lint: allow(s1) -- same invariant as cut.rs: all source vertices cuttable, so the anchored min cut exists; pinned by engine-vs-serial tests
-        .expect("cut always exists when all source vertices are cuttable");
+        self.batch.fill_supply(j, &mut self.supply);
+        self.batch.fill_blocked(j, &mut self.blocked);
+        let cut = self
+            .warm
+            .min_cut_roles(&self.supply, &self.drain, &self.blocked)
+            // dmc-lint: allow(s1) -- same invariant as cut.rs: all source vertices cuttable, so the anchored min cut exists; pinned by engine-vs-serial tests
+            .expect("cut always exists when all source vertices are cuttable");
+        #[cfg(debug_assertions)]
+        {
+            // Cross-check the warm frontier-restricted solve against a
+            // from-scratch full-network solve of the same anchor.
+            let n = g.num_vertices();
+            let mut sources = BitSet::new(n);
+            let mut sinks = BitSet::new(n);
+            self.batch.fill_sources(j, &mut sources);
+            self.batch.fill_sinks(j, &mut sinks);
+            let fresh = crate::flow::vertex_min_cut(
+                g,
+                &sources,
+                &sinks,
+                crate::flow::VertexCutOptions::default(),
+            );
+            // dmc-lint: allow(s1) -- debug-only cross-check: the warm solve just proved this anchor's cut finite, so the fresh solve of the same sets is too
+            let fresh = fresh.expect("fresh solve bounded while warm solve was");
+            assert_eq!(fresh.size, cut.size, "warm-start flow diverged at {x}");
+            assert_eq!(
+                fresh.vertices, cut.vertices,
+                "warm-start witness diverged at {x}"
+            );
+        }
         MinWavefront {
             anchor: x,
             size: cut.size,
@@ -140,6 +200,13 @@ pub struct WavefrontEngine<'g> {
     /// `level_cut_width[d]` = size of the wavefront of the depth-`d` level
     /// cut — an upper bound on `|W^min(x)|` for every anchor at depth `d`.
     level_cut_width: Vec<usize>,
+    /// A topological order of `g`, shared by every worker's batched
+    /// reachability sweeps.
+    order: Vec<VertexId>,
+    /// Inverse of `order`: `topo_pos[v]` is `v`'s position in it. Batches
+    /// visit anchors in this order so consecutive warm-started split
+    /// networks differ in as few vertex sides as possible.
+    topo_pos: Vec<u32>,
 }
 
 impl<'g> WavefrontEngine<'g> {
@@ -169,11 +236,18 @@ impl<'g> WavefrontEngine<'g> {
             acc += diff[d];
             *w = acc as usize;
         }
+        let order = topological_order(g);
+        let mut topo_pos = vec![0u32; g.num_vertices()];
+        for (i, v) in order.iter().enumerate() {
+            topo_pos[v.index()] = i as u32;
+        }
         WavefrontEngine {
             g,
             threads: 0,
             depth,
             level_cut_width,
+            order,
+            topo_pos,
         }
     }
 
@@ -232,21 +306,43 @@ impl<'g> WavefrontEngine<'g> {
         }
         // Schedule positions largest-estimate-first so the global best
         // rises early and pruning bites; the sort is stable, and the merge
-        // below is order-independent anyway.
+        // below is order-independent anyway. The schedule is then chunked
+        // into batches of at most `BATCH_WIDTH` anchors; *within* a batch,
+        // anchors are reordered by *descending* topological position — each
+        // worker's warm-started solver still patches minimal side diffs
+        // between consecutive anchors, and the highest-position member of a
+        // tie class is solved first so its `(size, position)` immediately
+        // dominates the rest of the class. Per-batch maxima let a worker
+        // drop a dominated batch before paying for its reachability sweep.
         let mut sched: Vec<u32> = (0..anchors.len() as u32).collect();
         sched.sort_by_key(|&i| std::cmp::Reverse(self.anchor_estimate(anchors[i as usize])));
+        let mut batches: Vec<(usize, usize, usize, u32)> = Vec::new();
+        for start in (0..sched.len()).step_by(BATCH_WIDTH) {
+            let end = (start + BATCH_WIDTH).min(sched.len());
+            // The chunk's max estimate is its first entry's (sorted above).
+            let max_est = self.anchor_estimate(anchors[sched[start] as usize]);
+            let max_pos = sched[start..end].iter().copied().max().unwrap_or(0);
+            sched[start..end]
+                .sort_by_key(|&i| std::cmp::Reverse(self.topo_pos[anchors[i as usize].index()]));
+            batches.push((start, end, max_est, max_pos));
+        }
+        let sched = sched; // frozen; workers only read
         let next = AtomicUsize::new(0);
-        let best_size = AtomicUsize::new(floor);
+        // Shared lexicographic best `(size, position)`, packed so that
+        // `fetch_max` is the whole synchronization story.
+        let best = AtomicU64::new(pack(floor, 0));
         let evaluated = AtomicUsize::new(0);
-        let threads = self.resolved_threads(anchors.len());
+        let threads = self.resolved_threads(batches.len());
         let locals: Vec<Option<(usize, MinWavefront)>> = if threads == 1 {
-            vec![self.worker(anchors, &sched, &next, &best_size, &evaluated)]
+            vec![self.worker(anchors, &sched, &batches, &next, &best, &evaluated)]
         } else {
-            // dmc-lint: allow(s2) -- workers share the pruning atomic (best_size), which fan_out_indexed cannot express; the merge below is a max over unique (size, position) keys, so it is scheduling-independent, and `engine_matches_serial_on_diamond_and_lumpy` pins it
+            // dmc-lint: allow(s2) -- workers share the pruning atomic (best), which fan_out_indexed cannot express; the merge below is a max over unique (size, position) keys, so it is scheduling-independent, and `engine_matches_serial_on_diamond_and_lumpy` pins it
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
-                        scope.spawn(|| self.worker(anchors, &sched, &next, &best_size, &evaluated))
+                        scope.spawn(|| {
+                            self.worker(anchors, &sched, &batches, &next, &best, &evaluated)
+                        })
                     })
                     .collect();
                 handles
@@ -270,41 +366,62 @@ impl<'g> WavefrontEngine<'g> {
         }
     }
 
-    /// One worker: pull anchors off the shared queue, prune, solve, and
-    /// keep the local `(position, wavefront)` maximum.
+    /// One worker: pull anchor *batches* off the shared queue, sweep the
+    /// batch's reachability closures word-parallel, then prune and solve
+    /// each anchor warm-started, keeping the local `(position, wavefront)`
+    /// maximum.
     fn worker(
         &self,
         anchors: &[VertexId],
         sched: &[u32],
+        batches: &[(usize, usize, usize, u32)],
         next: &AtomicUsize,
-        best_size: &AtomicUsize,
+        best: &AtomicU64,
         evaluated: &AtomicUsize,
     ) -> Option<(usize, MinWavefront)> {
-        let mut scratch = AnchorScratch::new(self.g.num_vertices());
+        let mut scratch = AnchorScratch::new(self.g);
         let mut local: Option<(usize, MinWavefront)> = None;
         loop {
             let k = next.fetch_add(1, Ordering::Relaxed);
-            if k >= sched.len() {
+            if k >= batches.len() {
                 break;
             }
-            let pos = sched[k] as usize;
-            let x = anchors[pos];
-            // Best-so-far pruning: `anchor_estimate` upper-bounds the cut,
-            // so a strictly smaller estimate can neither beat nor tie the
-            // best completed result — skipping cannot change the argmax.
-            if self.anchor_estimate(x) < best_size.load(Ordering::Relaxed) {
+            let (start, end, max_est, max_pos) = batches[k];
+            // Whole-batch pruning: `(max estimate, max position)` lex-bounds
+            // every anchor's contribution in the batch, so a dominated batch
+            // cannot change the argmax and is dropped before its
+            // reachability sweep.
+            if pack(max_est, max_pos) < best.load(Ordering::Relaxed) {
                 continue;
             }
-            let w = scratch.min_wavefront(self.g, x);
-            evaluated.fetch_add(1, Ordering::Relaxed);
-            best_size.fetch_max(w.size, Ordering::Relaxed);
-            let better = match &local {
-                None => true,
-                Some((p, b)) => (w.size, pos) > (b.size, *p),
-            };
-            if better {
-                local = Some((pos, w));
+            scratch.xs.clear();
+            scratch
+                .xs
+                .extend(sched[start..end].iter().map(|&i| anchors[i as usize]));
+            let xs = std::mem::take(&mut scratch.xs);
+            scratch.batch.compute(self.g, &self.order, &xs);
+            for (j, (&x, &i)) in xs.iter().zip(&sched[start..end]).enumerate() {
+                let pos = i as usize;
+                // Per-anchor best-so-far pruning: the anchor can contribute
+                // at most `(estimate, position)`; if that is lexicographic-
+                // ally below the best completed `(size, position)`, it can
+                // neither beat nor tie-win the merge — skipping cannot
+                // change the argmax.
+                if pack(self.anchor_estimate(x), i) < best.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let w = scratch.min_wavefront(self.g, j, x);
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                best.fetch_max(pack(w.size, i), Ordering::Relaxed);
+                let better = match &local {
+                    None => true,
+                    Some((p, b)) => (w.size, pos) > (b.size, *p),
+                };
+                if better {
+                    local = Some((pos, w));
+                }
             }
+            scratch.xs = xs;
         }
         local
     }

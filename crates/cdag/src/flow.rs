@@ -54,6 +54,10 @@ pub struct FlowNetwork {
     queue: Vec<u32>,
     /// Arc stack of the current augmenting path (Dinic scratch).
     path: Vec<u32>,
+    /// When `true`, [`FlowNetwork::max_flow`] uses the Even–Tarjan-style
+    /// phase-saturating solver specialized for unit-capacity networks (every
+    /// finite arc has capacity 1); see [`FlowNetwork::set_unit_capacity`].
+    unit_capacity: bool,
 }
 
 impl FlowNetwork {
@@ -71,6 +75,7 @@ impl FlowNetwork {
             it: Vec::new(),
             queue: Vec::new(),
             path: Vec::new(),
+            unit_capacity: false,
         }
     }
 
@@ -82,6 +87,19 @@ impl FlowNetwork {
         self.to.clear();
         self.cap.clear();
         self.csr_valid = false;
+        self.unit_capacity = false;
+    }
+
+    /// Selects the max-flow strategy. With `true`, [`FlowNetwork::max_flow`]
+    /// runs an Even–Tarjan-style solver that saturates each blocking flow in
+    /// one continuous DFS, retiring arcs as they are used — `O(E·√V)` total
+    /// on unit-capacity networks (where every *finite* arc has capacity 1,
+    /// as in the vertex-split wavefront network). The solver is correct for
+    /// arbitrary capacities, but the general path-at-a-time Dinic (the
+    /// default, `false`) is kept for networks that are not effectively
+    /// unit-capacity, such as the Hong–Kung dominator variant.
+    pub fn set_unit_capacity(&mut self, on: bool) {
+        self.unit_capacity = on;
     }
 
     /// Number of nodes.
@@ -158,6 +176,12 @@ impl FlowNetwork {
             while head < queue.len() {
                 let u = queue[head] as usize;
                 head += 1;
+                // Nodes at or beyond the sink's level cannot lie on a
+                // shortest augmenting path; once `t` is labeled, the rest of
+                // its level (and everything deeper) needs no expansion.
+                if level[u] >= level[t] {
+                    break;
+                }
                 for &a in self.arcs_of(u) {
                     let v = self.to[a as usize];
                     if self.cap[a as usize] > 0 && level[v as usize] == u32::MAX {
@@ -170,19 +194,87 @@ impl FlowNetwork {
                 break;
             }
             it.fill(0);
-            // Blocking flow via iterative DFS.
-            loop {
-                let pushed = self.dfs_push(s, t, u32::MAX, &level, &mut it);
-                if pushed == 0 {
-                    break;
+            if self.unit_capacity {
+                // Phase-saturating blocking flow: one continuous DFS per
+                // phase, arcs retired as they saturate.
+                flow += self.blocking_flow_unit(s, t, &level, &mut it);
+            } else {
+                // Blocking flow via path-at-a-time iterative DFS.
+                loop {
+                    let pushed = self.dfs_push(s, t, u32::MAX, &level, &mut it);
+                    if pushed == 0 {
+                        break;
+                    }
+                    flow += pushed as u64;
                 }
-                flow += pushed as u64;
             }
         }
         self.level = level;
         self.it = it;
         self.queue = queue;
         flow
+    }
+
+    /// Saturates the current level graph in a single continuous DFS
+    /// (Even–Tarjan unit-capacity style): after each augmentation the search
+    /// backs up only to the tail of the shallowest saturated arc instead of
+    /// restarting from `s`, and current-arc iterators retire every arc the
+    /// moment it is exhausted. On unit-capacity networks every finite-cap
+    /// augmentation removes its whole path from the level graph, giving the
+    /// `O(E)` -per-phase / `O(E·√V)` total bound. Returns the flow pushed in
+    /// this phase.
+    fn blocking_flow_unit(&mut self, s: usize, t: usize, level: &[u32], it: &mut [u32]) -> u64 {
+        let mut path = std::mem::take(&mut self.path);
+        path.clear();
+        let mut flow = 0u64;
+        let mut u = s;
+        loop {
+            if u == t {
+                // Bottleneck along the path (1 unless the path is all-INF,
+                // which signals an unbounded cut to the caller).
+                let mut push = u32::MAX;
+                for &a in &path {
+                    push = push.min(self.cap[a as usize]);
+                }
+                for &a in &path {
+                    self.cap[a as usize] -= push;
+                    self.cap[(a ^ 1) as usize] += push;
+                }
+                flow += push as u64;
+                // Back up to just below the shallowest saturated arc; its
+                // tail's current-arc check will skip the dead arc.
+                let mut keep = 0;
+                while keep < path.len() && self.cap[path[keep] as usize] > 0 {
+                    keep += 1;
+                }
+                path.truncate(keep);
+                u = path.last().map_or(s, |&a| self.to[a as usize] as usize);
+                continue;
+            }
+            let mut advanced = false;
+            while (it[u] as usize) < self.arcs_of(u).len() {
+                let a = self.arcs_of(u)[it[u] as usize];
+                let v = self.to[a as usize] as usize;
+                if self.cap[a as usize] > 0 && level[v] == level[u] + 1 {
+                    path.push(a);
+                    u = v;
+                    advanced = true;
+                    break;
+                }
+                it[u] += 1;
+            }
+            if !advanced {
+                if u == s {
+                    self.path = path;
+                    return flow;
+                }
+                // dmc-lint: allow(s1) -- retreat only runs while the DFS path is non-empty (u != s above); an empty pop is unreachable
+                let a = path.pop().expect("retreat with non-empty path");
+                let parent = self.to[(a ^ 1) as usize] as usize;
+                it[parent] += 1;
+                u = parent;
+            }
+        }
     }
 
     /// Sends up to `limit` units along one augmenting path in the level
@@ -241,13 +333,28 @@ impl FlowNetwork {
     /// Panics if no flow has been solved on the current arc set (the CSR
     /// adjacency is built by `max_flow`).
     pub fn residual_reachable(&self, s: usize) -> BitSet {
+        let mut seen = BitSet::new(self.num_nodes());
+        let mut stack = Vec::new();
+        self.residual_reachable_into(s, &mut seen, &mut stack);
+        seen
+    }
+
+    /// Scratch-reusing [`FlowNetwork::residual_reachable`]: clears and fills
+    /// `seen` (whose capacity must be `num_nodes()`), reusing `stack`.
+    pub fn residual_reachable_into(&self, s: usize, seen: &mut BitSet, stack: &mut Vec<u32>) {
         assert!(
             self.csr_valid,
             "residual_reachable requires a prior max_flow on the current arcs"
         );
-        let mut seen = BitSet::new(self.num_nodes());
+        assert_eq!(
+            seen.capacity(),
+            self.num_nodes(),
+            "residual scratch bitset must be sized to the node count"
+        );
+        seen.clear();
+        stack.clear();
         seen.insert(s);
-        let mut stack = vec![s as u32];
+        stack.push(s as u32);
         while let Some(u) = stack.pop() {
             for &a in self.arcs_of(u as usize) {
                 if self.cap[a as usize] > 0 {
@@ -258,7 +365,6 @@ impl FlowNetwork {
                 }
             }
         }
-        seen
     }
 }
 
@@ -333,6 +439,10 @@ pub fn vertex_min_cut_into(
     // Node layout: v_in = 2v, v_out = 2v + 1, super-source = 2n, sink = 2n+1.
     let (s, t) = (2 * n, 2 * n + 1);
     net.reset(2 * n + 2);
+    // Every finite arc below has capacity 1, so the Even–Tarjan solver
+    // applies; the Hong–Kung dominator variant (both sides cuttable) keeps
+    // the general path-at-a-time Dinic.
+    net.set_unit_capacity(!(opts.sources_cuttable && opts.sinks_cuttable));
     for v in 0..n {
         let is_src = sources.contains(v);
         let is_snk = sinks.contains(v);
@@ -364,6 +474,445 @@ pub fn vertex_min_cut_into(
         size: flow as usize,
         vertices,
     })
+}
+
+/// Warm-started per-anchor wavefront cuts over a fixed CDAG.
+///
+/// [`vertex_min_cut_into`] rebuilds the whole split network — arcs, CSR
+/// adjacency, and flow — for every anchor, and every BFS phase of its solve
+/// walks the *entire* network, including the deep interior of the source
+/// and sink regions where the cut can never pass. `WarmCut` removes both
+/// costs. The arc *topology* depends only on the graph, so the network is
+/// built **once**; per anchor, the configuration is expressed through three
+/// vertex roles ([`crate::reach::BatchReach`] computes them word-parallel):
+///
+/// * **supply** — frontier sources (a successor leaves the source side):
+///   their `s → v_in` arcs open at INF. Supplying only the frontier is
+///   flow-equivalent to supplying every source, because every source→sink
+///   path last leaves the source side at a frontier vertex.
+/// * **drain** — frontier sinks (a predecessor is not a sink): their split
+///   and `v_out → t` arcs open at INF. The first sink on any path is a
+///   frontier sink, and sinks are uncuttable, so paths never need to pass
+///   it.
+/// * **blocked** — interior sources and sinks: their split arcs close to 0.
+///   The canonical minimal cut never passes through them (any path through
+///   an interior source also crosses a frontier source that the cut must
+///   contain instead), so removing them leaves both the min-cut value and
+///   the canonical witness unchanged while every BFS phase, residual scan,
+///   and augmenting walk stays inside the *active* region around the cut.
+///
+/// Per anchor the solver then:
+///
+/// 1. diffs the new role sets against the previous anchor's with word-wide
+///    XOR scans ([`BitSet::xor_blocks`]),
+/// 2. retargets the few affected arc capacities — where a capacity drops
+///    below its current flow, the excess units are cancelled by walking the
+///    flow decomposition back to the super-source and forward to the super-
+///    sink one unit at a time —
+/// 3. re-augments the retained flow to a new maximum instead of solving
+///    from scratch.
+///
+/// The reported cut is extracted from residual reachability, which yields
+/// the canonical (inclusion-minimal, source-side) minimum cut — invariant
+/// across *all* maximum flows of a network. Warm-start history therefore
+/// cannot leak into results: every call returns exactly what
+/// [`vertex_min_cut`] returns for the same source/sink sets, and debug
+/// builds assert that against a from-scratch full-network solve.
+///
+/// The capacity configuration is fixed to the paper's §3.3 wavefront shape:
+/// sources cuttable, sinks not (i.e. [`VertexCutOptions::default`]).
+pub struct WarmCut {
+    /// The split network; arc topology fixed at construction.
+    net: FlowNetwork,
+    /// `|V|` of the underlying CDAG.
+    n: usize,
+    /// `|E|` of the underlying CDAG (for arc-id arithmetic).
+    num_edges: usize,
+    /// Supply (source-frontier) set of the currently-loaded configuration.
+    cur_supply: BitSet,
+    /// Drain (sink-frontier) set of the currently-loaded configuration.
+    cur_drain: BitSet,
+    /// Blocked (interior) set of the currently-loaded configuration.
+    cur_blocked: BitSet,
+    /// Role scratch for [`WarmCut::min_cut`]'s side scan.
+    role_supply: BitSet,
+    /// Role scratch for [`WarmCut::min_cut`]'s side scan.
+    role_drain: BitSet,
+    /// Role scratch for [`WarmCut::min_cut`]'s side scan.
+    role_blocked: BitSet,
+    /// Value of the currently-held flow.
+    flow: u64,
+    /// `true` once a configuration has been loaded and solved.
+    warm: bool,
+    /// Residual-reachability scratch.
+    reach: BitSet,
+    /// DFS/walk scratch.
+    stack: Vec<u32>,
+    /// Changed-vertex scratch for the diff patcher.
+    changed: Vec<u32>,
+}
+
+impl WarmCut {
+    /// Builds the fixed-topology split network for `g` (all supply/drain
+    /// arcs present but closed) and its CSR adjacency, once.
+    pub fn new(g: &Cdag) -> Self {
+        let n = g.num_vertices();
+        let (s, t) = (2 * n, 2 * n + 1);
+        let mut net = FlowNetwork::new(2 * n + 2);
+        for v in 0..n {
+            net.add_arc(2 * v, 2 * v + 1, 1);
+        }
+        let mut num_edges = 0usize;
+        for (u, v) in g.edges() {
+            net.add_arc(2 * u.index() + 1, 2 * v.index(), INF);
+            num_edges += 1;
+        }
+        for v in 0..n {
+            net.add_arc(s, 2 * v, 0);
+        }
+        for v in 0..n {
+            net.add_arc(2 * v + 1, t, 0);
+        }
+        net.build_csr();
+        net.set_unit_capacity(true);
+        WarmCut {
+            net,
+            n,
+            num_edges,
+            cur_supply: BitSet::new(n),
+            cur_drain: BitSet::new(n),
+            cur_blocked: BitSet::new(n),
+            role_supply: BitSet::new(n),
+            role_drain: BitSet::new(n),
+            role_blocked: BitSet::new(n),
+            flow: 0,
+            warm: false,
+            reach: BitSet::new(2 * n + 2),
+            stack: Vec::new(),
+            changed: Vec::new(),
+        }
+    }
+
+    /// Arc id of the `v_in → v_out` split arc (arcs were added in a fixed
+    /// order at construction, and arc `k` of the insertion order has id
+    /// `2k`).
+    #[inline]
+    fn split_arc(&self, v: usize) -> usize {
+        2 * v
+    }
+
+    /// Arc id of the super-source supply arc `s → v_in`.
+    #[inline]
+    fn src_arc(&self, v: usize) -> usize {
+        2 * (self.n + self.num_edges + v)
+    }
+
+    /// Arc id of the super-sink drain arc `v_out → t`.
+    #[inline]
+    fn snk_arc(&self, v: usize) -> usize {
+        2 * (2 * self.n + self.num_edges + v)
+    }
+
+    /// Computes the minimum wavefront-configuration vertex cut separating
+    /// `sources` from `sinks` (sources cuttable, sinks not), warm-starting
+    /// from the previously solved configuration when one is loaded.
+    ///
+    /// Returns `None` when no finite cut exists (a vertex is both source
+    /// and sink). Results are identical to
+    /// [`vertex_min_cut`]`(g, sources, sinks, VertexCutOptions::default())`.
+    ///
+    /// # Panics
+    /// Panics if `g` or the set capacities disagree with the graph this
+    /// solver was built for.
+    pub fn min_cut(&mut self, g: &Cdag, sources: &BitSet, sinks: &BitSet) -> Option<VertexCut> {
+        assert_eq!(
+            g.num_vertices(),
+            self.n,
+            "WarmCut used with a different graph"
+        );
+        assert_eq!(sources.capacity(), self.n, "source set capacity mismatch");
+        assert_eq!(sinks.capacity(), self.n, "sink set capacity mismatch");
+        if sources.is_empty() || sinks.is_empty() {
+            return Some(VertexCut {
+                size: 0,
+                vertices: Vec::new(),
+            });
+        }
+        // An overlapping vertex is an uncuttable sink that is also supplied:
+        // the full network always reports such configurations unbounded.
+        if sources
+            .words()
+            .iter()
+            .zip(sinks.words())
+            .any(|(a, b)| a & b != 0)
+        {
+            return None;
+        }
+        // Classify each side into frontier vs interior (the word-parallel
+        // batch equivalent is `BatchReach`'s role rows).
+        let mut supply = std::mem::replace(&mut self.role_supply, BitSet::new(0));
+        let mut drain = std::mem::replace(&mut self.role_drain, BitSet::new(0));
+        let mut blocked = std::mem::replace(&mut self.role_blocked, BitSet::new(0));
+        supply.clear();
+        drain.clear();
+        blocked.clear();
+        for v in sources.iter() {
+            let frontier = g
+                .successors(VertexId(v as u32))
+                .iter()
+                .any(|s| !sources.contains(s.index()));
+            if frontier {
+                supply.insert(v);
+            } else {
+                blocked.insert(v);
+            }
+        }
+        for v in sinks.iter() {
+            let frontier = g
+                .predecessors(VertexId(v as u32))
+                .iter()
+                .any(|p| !sinks.contains(p.index()));
+            if frontier {
+                drain.insert(v);
+            } else {
+                blocked.insert(v);
+            }
+        }
+        let out = self.min_cut_roles(&supply, &drain, &blocked);
+        self.role_supply = supply;
+        self.role_drain = drain;
+        self.role_blocked = blocked;
+        #[cfg(debug_assertions)]
+        {
+            // Cross-check the warm frontier-restricted solve against a
+            // from-scratch full-network one: the canonical cut must be
+            // bit-identical.
+            let fresh = vertex_min_cut(g, sources, sinks, VertexCutOptions::default());
+            match (&out, &fresh) {
+                (Some(got), Some(want)) => {
+                    assert_eq!(want.size, got.size, "warm-start flow diverged");
+                    assert_eq!(want.vertices, got.vertices, "warm-start witness diverged");
+                }
+                (None, None) => {}
+                // dmc-lint: allow(s1) -- debug-only cross-check; a bounded/unbounded disagreement between the warm and fresh solvers is a solver bug worth dying loudly on
+                (got, want) => panic!("warm {got:?} vs fresh {want:?}"),
+            }
+        }
+        out
+    }
+
+    /// [`WarmCut::min_cut`] with the role sets precomputed by the caller —
+    /// the engine's hot entry, fed directly from
+    /// [`crate::reach::BatchReach::fill_supply`] /
+    /// [`fill_drain`](crate::reach::BatchReach::fill_drain) /
+    /// [`fill_blocked`](crate::reach::BatchReach::fill_blocked) columns
+    /// without materializing the full source/sink sets.
+    ///
+    /// `supply` and `drain` must be disjoint (guaranteed whenever the
+    /// underlying source and sink sets are); results are then identical to
+    /// [`vertex_min_cut`] on the full sets. Returns `None` if the network
+    /// is unbounded (only possible for overlapping roles).
+    ///
+    /// # Panics
+    /// Panics if a role set's capacity disagrees with the graph this solver
+    /// was built for.
+    pub fn min_cut_roles(
+        &mut self,
+        supply: &BitSet,
+        drain: &BitSet,
+        blocked: &BitSet,
+    ) -> Option<VertexCut> {
+        assert_eq!(supply.capacity(), self.n, "supply set capacity mismatch");
+        assert_eq!(drain.capacity(), self.n, "drain set capacity mismatch");
+        assert_eq!(blocked.capacity(), self.n, "blocked set capacity mismatch");
+        if supply.is_empty() || drain.is_empty() {
+            return Some(VertexCut {
+                size: 0,
+                vertices: Vec::new(),
+            });
+        }
+        let (s, t) = (2 * self.n, 2 * self.n + 1);
+        let changed = if self.warm {
+            self.cur_supply
+                .xor_blocks(supply)
+                .chain(self.cur_drain.xor_blocks(drain))
+                .chain(self.cur_blocked.xor_blocks(blocked))
+                .map(|(_, w)| w.count_ones() as usize)
+                .sum::<usize>()
+        } else {
+            usize::MAX
+        };
+        if changed > self.n / 2 {
+            // Cold (re)load: cheaper than patching when most roles changed.
+            self.load_caps(supply, drain, blocked);
+        } else {
+            self.patch_caps(supply, drain, blocked);
+        }
+        self.cur_supply.clear();
+        self.cur_supply.union_with(supply);
+        self.cur_drain.clear();
+        self.cur_drain.union_with(drain);
+        self.cur_blocked.clear();
+        self.cur_blocked.union_with(blocked);
+        self.flow += self.net.max_flow(s, t);
+        self.warm = true;
+        if self.flow >= INF as u64 {
+            // Unbounded: poison the warm state so the next call reloads.
+            self.warm = false;
+            return None;
+        }
+        self.net
+            .residual_reachable_into(s, &mut self.reach, &mut self.stack);
+        let reach = &self.reach;
+        // Blocked vertices carry zero-capacity split arcs, so the residual
+        // frontier trivially crosses them; they are interior to the source
+        // or sink side and never part of the canonical cut. Skip them.
+        let vertices: Vec<VertexId> = (0..self.n)
+            .filter(|&v| {
+                reach.contains(2 * v) && !reach.contains(2 * v + 1) && !blocked.contains(v)
+            })
+            .map(|v| VertexId(v as u32))
+            .collect();
+        debug_assert_eq!(
+            vertices.len() as u64,
+            self.flow,
+            "cut size must equal max flow"
+        );
+        Some(VertexCut {
+            size: self.flow as usize,
+            vertices,
+        })
+    }
+
+    /// Overwrites every arc capacity for a fresh role configuration and
+    /// drops any held flow.
+    fn load_caps(&mut self, supply: &BitSet, drain: &BitSet, blocked: &BitSet) {
+        for v in 0..self.n {
+            let sp = self.split_arc(v);
+            self.net.cap[sp] = if blocked.contains(v) {
+                0
+            } else if drain.contains(v) {
+                INF
+            } else {
+                1
+            };
+            self.net.cap[sp ^ 1] = 0;
+            let sa = self.src_arc(v);
+            self.net.cap[sa] = if supply.contains(v) { INF } else { 0 };
+            self.net.cap[sa ^ 1] = 0;
+            let ka = self.snk_arc(v);
+            self.net.cap[ka] = if drain.contains(v) { INF } else { 0 };
+            self.net.cap[ka ^ 1] = 0;
+        }
+        for k in 0..self.num_edges {
+            let ea = 2 * (self.n + k);
+            self.net.cap[ea] = INF;
+            self.net.cap[ea ^ 1] = 0;
+        }
+        self.flow = 0;
+    }
+
+    /// Patches only the arcs of vertices whose role changed relative to the
+    /// loaded configuration, cancelling flow where capacity shrinks.
+    fn patch_caps(&mut self, supply: &BitSet, drain: &BitSet, blocked: &BitSet) {
+        let mut changed = std::mem::take(&mut self.changed);
+        changed.clear();
+        for (i, mut w) in self
+            .cur_supply
+            .xor_blocks(supply)
+            .chain(self.cur_drain.xor_blocks(drain))
+            .chain(self.cur_blocked.xor_blocks(blocked))
+        {
+            while w != 0 {
+                changed.push((i * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        for &v in &changed {
+            let v = v as usize;
+            let split_cap = if blocked.contains(v) {
+                0
+            } else if drain.contains(v) {
+                INF
+            } else {
+                1
+            };
+            self.retarget(self.split_arc(v), split_cap);
+            self.retarget(self.src_arc(v), if supply.contains(v) { INF } else { 0 });
+            self.retarget(self.snk_arc(v), if drain.contains(v) { INF } else { 0 });
+        }
+        self.changed = changed;
+    }
+
+    /// Sets arc `a`'s capacity to `new_cap`, first cancelling whatever part
+    /// of the current flow exceeds the new capacity so the residual pair
+    /// stays consistent (`cap[a] + flow = new_cap`, `cap[a^1] = flow`).
+    fn retarget(&mut self, a: usize, new_cap: u32) {
+        let f = self.net.cap[a ^ 1];
+        if f > new_cap {
+            self.cancel_arc(a, f - new_cap);
+        }
+        let f = self.net.cap[a ^ 1];
+        self.net.cap[a] = new_cap - f;
+    }
+
+    /// Cancels `units` units of the flow currently crossing arc `a`, walking
+    /// each unit of the flow decomposition backward from the arc's tail to
+    /// the super-source and forward from its head to the super-sink.
+    fn cancel_arc(&mut self, a: usize, units: u32) {
+        let (s, t) = (2 * self.n, 2 * self.n + 1);
+        let tail = self.net.to[a ^ 1] as usize;
+        let head = self.net.to[a] as usize;
+        for _ in 0..units {
+            self.net.cap[a] += 1;
+            self.net.cap[a ^ 1] -= 1;
+            // Absorb the inflow excess at `tail` back to s: repeatedly pick
+            // an incoming arc still carrying flow (an odd residual arc with
+            // positive capacity) and remove one unit from it. The split
+            // network is a DAG, so the walk strictly retreats and must end
+            // at s by flow conservation.
+            let mut u = tail;
+            while u != s {
+                let b = self.find_flow_arc(u, true);
+                self.net.cap[b] -= 1;
+                self.net.cap[b ^ 1] += 1;
+                u = self.net.to[b] as usize;
+            }
+            // Symmetrically absorb the outflow excess at `head` forward to t.
+            let mut u = head;
+            while u != t {
+                let b = self.find_flow_arc(u, false);
+                self.net.cap[b ^ 1] -= 1;
+                self.net.cap[b] += 1;
+                u = self.net.to[b] as usize;
+            }
+            self.flow -= 1;
+        }
+    }
+
+    /// Finds an arc at `u` carrying flow: with `incoming`, an odd residual
+    /// arc of positive capacity (flow on the forward twin *into* `u`);
+    /// otherwise an even forward arc whose twin holds flow (*out of* `u`).
+    fn find_flow_arc(&self, u: usize, incoming: bool) -> usize {
+        let lo = self.net.adj_off[u] as usize;
+        let hi = self.net.adj_off[u + 1] as usize;
+        for i in lo..hi {
+            let b = self.net.adj_arcs[i] as usize;
+            let carries = if incoming {
+                b & 1 == 1 && self.net.cap[b] > 0
+            } else {
+                b & 1 == 0 && self.net.cap[b ^ 1] > 0
+            };
+            if carries {
+                return b;
+            }
+        }
+        // Unreachable by flow conservation: a node with excess always has a
+        // flow-carrying arc in the walked direction.
+        unreachable!("flow conservation violated at node {u}");
+    }
 }
 
 /// Brute-force check that removing `cut` disconnects all `sources` from all
@@ -516,6 +1065,81 @@ mod tests {
         let cut = vertex_min_cut(&g, &s, &t, opts).unwrap();
         assert_eq!(cut.size, k);
         assert!(is_separating_vertex_set(&g, &s, &t, &cut.vertices));
+    }
+
+    /// A max-flow case: node count, arc list, source, sink.
+    type FlowCase = (usize, Vec<(usize, usize, u32)>, usize, usize);
+
+    #[test]
+    fn unit_solver_matches_general_on_small_nets() {
+        // Same arc lists solved by both strategies must agree on the value.
+        let cases: Vec<FlowCase> = vec![
+            (4, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)], 0, 3),
+            (4, vec![(0, 1, 3), (1, 2, 2), (2, 3, 5)], 0, 3),
+            (
+                6,
+                vec![
+                    (0, 1, 1),
+                    (0, 2, 1),
+                    (1, 3, 1),
+                    (2, 3, 1),
+                    (1, 4, 1),
+                    (3, 5, 1),
+                    (4, 5, 1),
+                ],
+                0,
+                5,
+            ),
+        ];
+        for (n, arcs, s, t) in cases {
+            let mut general = FlowNetwork::new(n);
+            let mut unit = FlowNetwork::new(n);
+            unit.set_unit_capacity(true);
+            for &(u, v, c) in &arcs {
+                general.add_arc(u, v, c);
+                unit.add_arc(u, v, c);
+            }
+            assert_eq!(general.max_flow(s, t), unit.max_flow(s, t), "{arcs:?}");
+        }
+    }
+
+    #[test]
+    fn warm_cut_matches_fresh_over_anchor_sequence() {
+        // Sweep every vertex of the diamond as an anchor, twice (the second
+        // pass exercises warm transitions back to earlier configurations).
+        let g = diamond();
+        let n = g.num_vertices();
+        let mut warm = WarmCut::new(&g);
+        let order = crate::topo::topological_order(&g);
+        let mut src = BitSet::new(n);
+        let mut snk = BitSet::new(n);
+        let mut stack = Vec::new();
+        for _ in 0..2 {
+            for &x in &order {
+                crate::reach::ancestors_into(&g, x, &mut src, &mut stack);
+                src.insert(x.index());
+                crate::reach::descendants_into(&g, x, &mut snk, &mut stack);
+                let got = warm.min_cut(&g, &src, &snk).unwrap();
+                let want = vertex_min_cut(&g, &src, &snk, VertexCutOptions::default()).unwrap();
+                assert_eq!(got.size, want.size, "anchor {x}");
+                assert_eq!(got.vertices, want.vertices, "anchor {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cut_unbounded_reported_none_and_recovers() {
+        let g = diamond();
+        let mut warm = WarmCut::new(&g);
+        let both = BitSet::from_indices(4, [1]);
+        // Vertex 1 as both source and sink: sinks are uncuttable, so the
+        // s → 1_in → 1_out → t path is all-INF.
+        assert!(warm.min_cut(&g, &both, &both).is_none());
+        // The solver recovers with a fresh load afterwards.
+        let s = BitSet::from_indices(4, [0]);
+        let t = BitSet::from_indices(4, [3]);
+        let cut = warm.min_cut(&g, &s, &t).unwrap();
+        assert_eq!(cut.size, 1);
     }
 
     #[test]

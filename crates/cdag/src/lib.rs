@@ -35,7 +35,7 @@
 //!   ([`components`]),
 //! * induced sub-CDAGs and quotient graphs for decomposition ([`subgraph`]),
 //! * cluster contraction into annotated super-vertex DAGs for the
-//!   hierarchical pipeline ([`coarsen`]),
+//!   hierarchical pipeline ([`mod@coarsen`]),
 //! * Graphviz DOT export ([`dot`]).
 
 #![forbid(unsafe_code)]

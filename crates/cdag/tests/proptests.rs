@@ -8,9 +8,12 @@
 use dmc_cdag::bitset::BitSet;
 use dmc_cdag::builder::CdagBuilder;
 use dmc_cdag::cut::{peak_schedule_wavefront, schedule_wavefront_sizes, ConvexCut};
-use dmc_cdag::flow::{is_separating_vertex_set, vertex_min_cut, VertexCutOptions};
+use dmc_cdag::engine::WavefrontEngine;
+use dmc_cdag::flow::{
+    is_separating_vertex_set, vertex_min_cut, FlowNetwork, VertexCutOptions, WarmCut,
+};
 use dmc_cdag::graph::{Cdag, VertexId};
-use dmc_cdag::reach::{all_pairs_reachability, reaches};
+use dmc_cdag::reach::{all_pairs_reachability, ancestors_into, descendants_into, reaches_into};
 use dmc_cdag::topo::{dfs_topological_order, is_valid_topological_order, topological_order};
 use proptest::prelude::*;
 
@@ -62,6 +65,81 @@ fn arb_dag(max_n: usize) -> impl Strategy<Value = Cdag> {
         })
 }
 
+/// Strategy: a random *layered* DAG — `layers × width` vertices, edges only
+/// between adjacent layers, each kept independently. This is the shape the
+/// flow core is tuned for (wavefronts sweep layer by layer), so it is where
+/// the unit-capacity solver and the warm-started network earn their keep.
+fn arb_layered_dag(max_layers: usize, max_width: usize) -> impl Strategy<Value = Cdag> {
+    (2..max_layers, 1..max_width)
+        .prop_flat_map(|(layers, width)| {
+            let m = (layers - 1) * width * width;
+            (
+                Just(layers),
+                Just(width),
+                proptest::collection::vec(proptest::bool::weighted(0.4), m),
+            )
+        })
+        .prop_map(|(layers, width, mask)| {
+            let mut b = CdagBuilder::new();
+            let ids: Vec<VertexId> = (0..layers * width)
+                .map(|i| b.add_vertex(format!("v{i}")))
+                .collect();
+            let mut k = 0;
+            for l in 0..layers - 1 {
+                for i in 0..width {
+                    for j in 0..width {
+                        if mask[k] {
+                            b.add_edge(ids[l * width + i], ids[(l + 1) * width + j]);
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            let g0 = b.clone().build().unwrap();
+            for v in g0.vertices() {
+                if g0.in_degree(v) == 0 {
+                    b.tag_input(v);
+                }
+                if g0.out_degree(v) == 0 {
+                    b.tag_output(v);
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+/// Effectively-infinite capacity, mirroring the library's split networks.
+const INF: u32 = u32::MAX / 4;
+
+/// Builds the vertex-split wavefront network for one source/sink pair into
+/// `net` (sources cuttable, sinks not) and returns the max flow, solved by
+/// the strategy selected by `unit`.
+fn split_network_flow(
+    g: &Cdag,
+    sources: &BitSet,
+    sinks: &BitSet,
+    net: &mut FlowNetwork,
+    unit: bool,
+) -> u64 {
+    let n = g.num_vertices();
+    let (s, t) = (2 * n, 2 * n + 1);
+    net.reset(2 * n + 2);
+    net.set_unit_capacity(unit);
+    for v in 0..n {
+        net.add_arc(2 * v, 2 * v + 1, if sinks.contains(v) { INF } else { 1 });
+    }
+    for (u, v) in g.edges() {
+        net.add_arc(2 * u.index() + 1, 2 * v.index(), INF);
+    }
+    for v in sources.iter() {
+        net.add_arc(s, 2 * v, INF);
+    }
+    for v in sinks.iter() {
+        net.add_arc(2 * v + 1, t, INF);
+    }
+    net.max_flow(s, t)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -85,9 +163,14 @@ proptest! {
     #[test]
     fn all_pairs_matches_single_source(g in arb_dag(16)) {
         let ap = all_pairs_reachability(&g);
+        let mut visited = BitSet::new(g.num_vertices());
+        let mut stack = Vec::new();
         for u in g.vertices() {
             for v in g.vertices() {
-                prop_assert_eq!(ap[u.index()].contains(v.index()), reaches(&g, u, v));
+                prop_assert_eq!(
+                    ap[u.index()].contains(v.index()),
+                    reaches_into(&g, u, v, &mut visited, &mut stack)
+                );
             }
         }
     }
@@ -164,6 +247,77 @@ proptest! {
         prop_assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
         for v in g.vertices() {
             prop_assert_eq!(g.label(v), g2.label(v), "label of {}", v);
+        }
+    }
+
+    /// The Even–Tarjan phase-saturating unit-capacity solver and the
+    /// general path-at-a-time Dinic compute the same max flow on every
+    /// wavefront split network (same graph, same source/sink pair).
+    #[test]
+    fn unit_capacity_solver_matches_general_dinic(g in arb_layered_dag(6, 5)) {
+        let n = g.num_vertices();
+        let mut net = FlowNetwork::new(0);
+        let mut sources = BitSet::new(n);
+        let mut sinks = BitSet::new(n);
+        let mut stack = Vec::new();
+        for x in topological_order(&g) {
+            ancestors_into(&g, x, &mut sources, &mut stack);
+            sources.insert(x.index());
+            descendants_into(&g, x, &mut sinks, &mut stack);
+            if sinks.is_empty() {
+                continue;
+            }
+            let general = split_network_flow(&g, &sources, &sinks, &mut net, false);
+            let unit = split_network_flow(&g, &sources, &sinks, &mut net, true);
+            prop_assert_eq!(general, unit, "anchor {}", x);
+        }
+    }
+
+    /// The warm-started, frontier-restricted solver agrees with a fresh
+    /// from-scratch solve on every anchor of a sweep: identical cut value,
+    /// identical witness vertices, and the witness actually separates.
+    #[test]
+    fn warm_cut_matches_fresh_over_random_sweep(g in arb_layered_dag(6, 5)) {
+        let n = g.num_vertices();
+        let mut warm = WarmCut::new(&g);
+        let mut sources = BitSet::new(n);
+        let mut sinks = BitSet::new(n);
+        let mut stack = Vec::new();
+        for x in topological_order(&g) {
+            ancestors_into(&g, x, &mut sources, &mut stack);
+            sources.insert(x.index());
+            descendants_into(&g, x, &mut sinks, &mut stack);
+            if sinks.is_empty() {
+                continue;
+            }
+            let got = warm.min_cut(&g, &sources, &sinks);
+            let want = vertex_min_cut(&g, &sources, &sinks, VertexCutOptions::default());
+            match (&got, &want) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.size, b.size, "anchor {}", x);
+                    prop_assert_eq!(&a.vertices, &b.vertices, "anchor {}", x);
+                    prop_assert!(
+                        is_separating_vertex_set(&g, &sources, &sinks, &a.vertices),
+                        "anchor {}: witness does not separate", x
+                    );
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "anchor {}: bounded/unbounded disagreement", x),
+            }
+        }
+    }
+
+    /// The parallel engine returns byte-identical results at 1, 2, and 4
+    /// threads: same winning size, same anchor, same witness cut, rendered
+    /// identically.
+    #[test]
+    fn engine_run_identical_across_threads(g in arb_layered_dag(6, 5)) {
+        let anchors: Vec<VertexId> = g.vertices().collect();
+        let base = WavefrontEngine::new(&g).with_threads(1).run(&anchors);
+        let base_text = format!("{:?}", base.best);
+        for threads in [2, 4] {
+            let run = WavefrontEngine::new(&g).with_threads(threads).run(&anchors);
+            prop_assert_eq!(format!("{:?}", run.best), base_text.clone(), "{} threads", threads);
         }
     }
 

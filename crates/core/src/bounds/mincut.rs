@@ -8,6 +8,16 @@
 //! For CDAGs *with* inputs we first apply Theorem 3 (untagging): removing
 //! the input tags can only lower the optimal I/O, so the Lemma-2 bound on
 //! the untagged CDAG is also valid for the tagged one.
+//!
+//! The per-anchor `|W^min(x)|` solves are delegated to
+//! [`WavefrontEngine`], which batches reachability 64 anchors at a time
+//! (word-parallel OR-sweeps), solves each anchor's vertex min-cut on a
+//! warm-started unit-capacity flow network restricted to the frontier
+//! vertices, and prunes anchors lexicographically against the running
+//! best — see the "Flow core" section of `DESIGN.md`. The engine's
+//! result (winning size, anchor, and witness) is bit-identical at any
+//! thread count, so the bound's `detail` strings never vary between
+//! runs.
 
 use super::{IoBound, Method};
 use dmc_cdag::cut::min_wavefront;

@@ -178,11 +178,13 @@ proptest! {
     fn spec_reports_invariant_in_threads(spec_string in arb_spec_string()) {
         let spec = parse_or_reject(&spec_string)?;
         let base = analyzer(3, 1).analyze_kernel(&spec);
-        let threaded = analyzer(3, 4).analyze_kernel(&spec);
-        prop_assert_eq!(base.to_string(), threaded.to_string());
-        prop_assert_eq!(
-            serde::json::to_string(&base),
-            serde::json::to_string(&threaded)
-        );
+        for threads in [2, 4] {
+            let threaded = analyzer(3, threads).analyze_kernel(&spec);
+            prop_assert_eq!(base.to_string(), threaded.to_string());
+            prop_assert_eq!(
+                serde::json::to_string(&base),
+                serde::json::to_string(&threaded)
+            );
+        }
     }
 }
