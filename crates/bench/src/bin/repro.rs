@@ -14,6 +14,9 @@
 //! repro simulate --kernel '<spec>' [--sram-sweep lo:hi:step] [--policy lru|opt]
 //!                [--threads N] [--format text|json]
 //! repro lint [--format text|json] [--rules d1,d2,...]
+//! repro serve [--addr HOST:PORT] [--workers N] [--threads N]
+//!             [--cache-entries K] [--cache-bytes B] [--max-vertices N]
+//! repro loadgen [--workers N]
 //! ```
 //!
 //! `--threads N` pins the worker count for the wavefront engine and the
@@ -36,7 +39,14 @@
 //! `--policy` restricts measurement to one eviction policy). `lint` runs
 //! the `dmc-lint` determinism/soundness pass over the workspace sources
 //! (exit 0 clean, 1 on violations, 2 on unused waivers; `--rules`
-//! restricts to a comma-separated rule subset, e.g. `d1,s1`).
+//! restricts to a comma-separated rule subset, e.g. `d1,s1`). `serve`
+//! starts the bounds-as-a-service daemon (`dmc-serve`): the analysis
+//! pipeline behind HTTP with a content-addressed result cache
+//! (`--cache-entries`/`--cache-bytes` bound it, `--workers` sizes the
+//! handler pool, `--max-vertices` the admission limit; stop it with
+//! `POST /shutdown`). `loadgen` hammers a fresh in-process daemon with
+//! a hot/cold client mix and records the throughput/latency/hit-rate
+//! numbers as `BENCH_serve.json`.
 
 use dmc_bench::ReportFormat;
 use dmc_sim::CachePolicy;
@@ -45,12 +55,15 @@ fn usage_error(msg: &str) -> ! {
     eprintln!(
         "{msg}; expected one of: table1 sec3 cg gmres \
          jacobi pebbling mincut analyze catalog simulate scale lint list partition parallel \
-         figures all (plus optional --threads N; analyze also takes \
+         figures serve loadgen all (plus optional --threads N; analyze also takes \
          <file.cdag> or --kernel '<spec>', --sram S, --format text|json, \
          --hierarchical, --clusters K, --max-vertices N; \
          simulate takes --kernel '<spec>', --sram-sweep lo:hi:step, \
          --policy lru|opt, --format text|json; \
-         lint takes --format text|json and --rules d1,d2,d3,s1,s2)"
+         lint takes --format text|json and --rules d1,d2,d3,s1,s2; \
+         serve takes --addr HOST:PORT, --workers N, --threads N, \
+         --cache-entries K, --cache-bytes B, --max-vertices N; \
+         loadgen takes --workers N)"
     );
     std::process::exit(2);
 }
@@ -72,6 +85,10 @@ struct Args {
     hierarchical: bool,
     clusters: Option<usize>,
     max_vertices: Option<u64>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    cache_entries: Option<usize>,
+    cache_bytes: Option<usize>,
 }
 
 fn parse_sweep(raw: &str) -> (u64, u64, u64) {
@@ -96,6 +113,10 @@ fn parse_args(args: &[String]) -> Args {
         hierarchical: false,
         clusters: None,
         max_vertices: None,
+        addr: None,
+        workers: None,
+        cache_entries: None,
+        cache_bytes: None,
     };
     let take_value = |args: &[String], i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -172,6 +193,31 @@ fn parse_args(args: &[String]) -> Args {
                         usage_error("--max-vertices needs a positive integer vertex count")
                     }));
             }
+            "--addr" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--addr"));
+                parsed.addr = Some(v);
+            }
+            "--workers" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--workers"));
+                parsed.workers = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_error("--workers needs a non-negative integer")),
+                );
+            }
+            "--cache-entries" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--cache-entries"));
+                parsed.cache_entries =
+                    Some(v.parse().ok().filter(|&k| k >= 1).unwrap_or_else(|| {
+                        usage_error("--cache-entries needs a positive integer entry count")
+                    }));
+            }
+            "--cache-bytes" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--cache-bytes"));
+                parsed.cache_bytes =
+                    Some(v.parse().ok().filter(|&b| b >= 1).unwrap_or_else(|| {
+                        usage_error("--cache-bytes needs a positive integer byte count")
+                    }));
+            }
             _ if a.starts_with('-') => usage_error(&format!("unknown flag '{a}'")),
             _ if parsed.experiment.is_none() => parsed.experiment = Some(a.clone()),
             _ if parsed.experiment.as_deref() == Some("analyze") && parsed.file.is_none() => {
@@ -212,6 +258,53 @@ fn run_lint(rules: Option<&str>, format: ReportFormat) -> ! {
     }
 }
 
+/// Boots the `dmc-serve` daemon from the CLI flags and blocks until
+/// `POST /shutdown`; exits 0 on a clean drain, 1 on a socket error.
+fn run_serve(args: &Args, threads: usize) -> ! {
+    use dmc_serve::{CacheConfig, Limits, Server, ServerConfig, ServiceConfig};
+    let defaults = CacheConfig::default();
+    let config = ServerConfig {
+        addr: args
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        workers: args.workers.unwrap_or(0),
+        limits: Limits::default(),
+        service: ServiceConfig {
+            max_vertices: args
+                .max_vertices
+                .unwrap_or(dmc_kernels::catalog::DEFAULT_MAX_BUILD_VERTICES),
+            threads,
+            cache: CacheConfig {
+                max_entries: args.cache_entries.unwrap_or(defaults.max_entries),
+                max_bytes: args.cache_bytes.unwrap_or(defaults.max_bytes),
+            },
+        },
+        log: true,
+    };
+    let server = Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("cannot bind serve daemon: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[serve] listening on http://{} (POST /shutdown to stop)",
+        server.local_addr()
+    );
+    match server.run() {
+        Ok(summary) => {
+            eprintln!(
+                "[serve] drained: {} requests handled, {} dead connections",
+                summary.requests, summary.dead_connections
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[serve] accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     // Perf-trajectory snapshots (`BENCH_*.json` in `$DMC_BENCH_DIR` or
     // the current directory) are enabled for the binary only — library
@@ -219,7 +312,7 @@ fn main() {
     dmc_bench::snapshot::enable_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&args);
-    let arg = args.experiment.unwrap_or_else(|| "all".to_string());
+    let arg = args.experiment.clone().unwrap_or_else(|| "all".to_string());
     // Flags an experiment would silently drop are rejected loudly:
     // `--kernel`/`--sram`/`--format` only shape the analyze/simulate
     // reports, `--sram-sweep`/`--policy` only the simulate sweep, and
@@ -257,22 +350,52 @@ fn main() {
     if args.clusters.is_some() && !args.hierarchical {
         usage_error("--clusters needs --hierarchical");
     }
-    if args.max_vertices.is_some() && !(arg == "analyze" && args.kernel.is_some()) {
+    let serving = arg == "serve";
+    let loadgenning = arg == "loadgen";
+    if args.max_vertices.is_some() && !(arg == "analyze" && args.kernel.is_some()) && !serving {
         usage_error(
-            "--max-vertices only applies to 'analyze --kernel' (the catalog admission limit)",
+            "--max-vertices only applies to 'analyze --kernel' and 'serve' (the admission limit)",
         );
+    }
+    if args.addr.is_some() && !serving {
+        usage_error("--addr only applies to 'serve'");
+    }
+    if args.workers.is_some() && !(serving || loadgenning) {
+        usage_error("--workers only applies to 'serve' and 'loadgen'");
+    }
+    if (args.cache_entries.is_some() || args.cache_bytes.is_some()) && !serving {
+        usage_error("--cache-entries and --cache-bytes only apply to 'serve'");
     }
     if args.threads.is_some()
         && !matches!(
             arg.as_str(),
-            "mincut" | "analyze" | "catalog" | "simulate" | "scale" | "all"
+            "mincut" | "analyze" | "catalog" | "simulate" | "scale" | "serve" | "all"
         )
     {
         usage_error(
-            "--threads only applies to 'mincut', 'analyze', 'catalog', 'simulate', 'scale', and 'all'",
+            "--threads only applies to 'mincut', 'analyze', 'catalog', 'simulate', 'scale', 'serve', and 'all'",
         );
     }
     let threads = args.threads.unwrap_or(0);
+    if serving {
+        // `serve` owns its lifecycle (it blocks until `POST /shutdown`),
+        // so like `lint` it never enters the snapshot-timed dispatcher.
+        run_serve(&args, threads);
+    }
+    if loadgenning {
+        // `loadgen` writes its own `BENCH_serve.json`; keep it out of
+        // the timed dispatcher so no stray `BENCH_loadgen.json` appears.
+        match dmc_bench::loadgen::loadgen_experiment(args.workers.unwrap_or(0)) {
+            Ok(table) => {
+                print!("{table}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if linting {
         // `lint` owns the process exit code (0 clean / 1 violations /
         // 2 stale waivers), so it never falls through to the generic

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod loadgen;
 pub mod snapshot;
 
 pub use experiments::*;

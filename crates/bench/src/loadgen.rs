@@ -1,0 +1,268 @@
+//! The serve-daemon load generator (`repro loadgen`).
+//!
+//! Boots an in-process [`dmc_serve::Server`] on an ephemeral port, fans
+//! `clients` raw-`TcpStream` client threads over a deterministic
+//! hot/cold request mix (~90% repeats of a small hot set, ~10%
+//! per-client unique cold specs), and reports throughput, latency
+//! percentiles, and the cache outcome split. The acceptance floors
+//! (≥ 100 req/s against a warm cache, a sane hit rate, zero failed
+//! requests) are asserted by `crates/bench/tests/serve_equivalence.rs`
+//! on this module's [`LoadReport`]; the CLI path additionally records
+//! the numbers as `BENCH_serve.json` via [`crate::snapshot::write`].
+//!
+//! Wall-clock numbers are inherently run-varying; like every other perf
+//! snapshot they live in the side file and this table, never in the
+//! deterministic experiment outputs.
+
+use dmc_cdag::fanout::fan_out_indexed;
+use dmc_serve::{Limits, Server, ServerConfig, ServiceConfig};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Load-run shape: client/server concurrency and request volume.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client sends in the measured phase.
+    pub requests_per_client: usize,
+    /// Server worker threads (`0` = `available_parallelism`).
+    pub workers: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 50,
+            workers: 0,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent in the measured phase (all clients).
+    pub requests: u64,
+    /// Requests that did not come back HTTP 200.
+    pub failed: u64,
+    /// Measured-phase throughput, requests per second.
+    pub rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// `cache_hits / (hits + misses + coalesced)` from `/metrics`.
+    pub hit_rate: f64,
+    /// Final `/metrics` counters: analyses actually run.
+    pub analyses_performed: u64,
+    /// Final `/metrics` counters: coalesced duplicate requests.
+    pub coalesced: u64,
+    /// The rendered result table.
+    pub table: String,
+}
+
+/// The hot set: cheap catalog specs every client keeps re-requesting.
+const HOT_SPECS: [&str; 3] = ["diamond", "fft(n=8)", "reduction(leaves=16)"];
+
+/// Runs one load generation against a fresh in-process daemon.
+pub fn run(config: LoadConfig) -> Result<LoadReport, String> {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: config.workers,
+        limits: Limits::default(),
+        service: ServiceConfig::default(),
+        log: false,
+    })
+    .map_err(|e| format!("cannot bind loadgen server: {e}"))?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    // Warm phase (unmeasured): prime the hot set so the throughput floor
+    // is a statement about the cache, not about first-analysis cost.
+    for spec in HOT_SPECS {
+        let (status, body) = post(addr, "/analyze", spec)?;
+        if status != 200 {
+            return Err(format!("warmup {spec} -> {status}: {body}"));
+        }
+    }
+    // Measured phase: every client interleaves hot repeats with its own
+    // cold specs (deterministic mix, ~1 cold in 10).
+    // dmc-lint: allow(d2) -- loadgen measures wall-clock throughput by design; results go to the table and BENCH_serve.json, never into deterministic outputs
+    let t0 = std::time::Instant::now();
+    let per_client: Vec<Result<(Vec<f64>, u64), String>> = fan_out_indexed(
+        config.clients,
+        config.clients,
+        || (),
+        |(), client| {
+            let mut latencies = Vec::with_capacity(config.requests_per_client);
+            let mut failed = 0u64;
+            for j in 0..config.requests_per_client {
+                let spec = if j % 10 == 9 {
+                    // Cold: unique to (client, j) so it always misses.
+                    format!("chain(k={})", 100 + client * config.requests_per_client + j)
+                } else {
+                    HOT_SPECS[(client + j) % HOT_SPECS.len()].to_string()
+                };
+                // dmc-lint: allow(d2) -- per-request latency sample for the loadgen percentile table; never part of deterministic output
+                let t = std::time::Instant::now();
+                let (status, body) = post(addr, "/analyze", &spec)?;
+                latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                if status != 200 {
+                    eprintln!("[loadgen] client {client} req {j} {spec} -> {status}: {body}");
+                    failed += 1;
+                }
+            }
+            Ok((latencies, failed))
+        },
+    );
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let (_, metrics) = get(addr, "/metrics")?;
+    // Graceful shutdown; the server thread must exit cleanly.
+    let (status, _) = post(addr, "/shutdown", "")?;
+    if status != 200 {
+        return Err(format!("shutdown -> {status}"));
+    }
+    match server_thread.join() {
+        Ok(Ok(_summary)) => {}
+        Ok(Err(e)) => return Err(format!("server loop failed: {e}")),
+        Err(_) => return Err("server thread panicked".to_string()),
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut failed = 0u64;
+    for r in per_client {
+        let (l, f) = r?;
+        latencies.extend(l);
+        failed += f;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let requests = (config.clients * config.requests_per_client) as u64;
+    let hits = metric(&metrics, "cache_hits")?;
+    let misses = metric(&metrics, "cache_misses")?;
+    let coalesced = metric(&metrics, "cache_coalesced")?;
+    let lookups = hits + misses + coalesced;
+    let report = LoadReport {
+        requests,
+        failed,
+        rps: requests as f64 / elapsed_s.max(1e-9),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        analyses_performed: metric(&metrics, "analyses_performed")?,
+        coalesced,
+        table: String::new(),
+    };
+    Ok(render(config, report))
+}
+
+fn render(config: LoadConfig, mut r: LoadReport) -> LoadReport {
+    let mut t = String::from("== loadgen: serve daemon under a hot/cold mix ==\n");
+    let _ = writeln!(
+        t,
+        "clients {}  requests/client {}  server workers {}",
+        config.clients,
+        config.requests_per_client,
+        if config.workers == 0 {
+            "auto".to_string()
+        } else {
+            config.workers.to_string()
+        }
+    );
+    let _ = writeln!(t, "requests            {}", r.requests);
+    let _ = writeln!(t, "failed              {}", r.failed);
+    let _ = writeln!(t, "throughput          {:.0} req/s", r.rps);
+    let _ = writeln!(t, "latency p50         {:.2} ms", r.p50_ms);
+    let _ = writeln!(t, "latency p99         {:.2} ms", r.p99_ms);
+    let _ = writeln!(t, "cache hit rate      {:.1}%", r.hit_rate * 100.0);
+    let _ = writeln!(t, "analyses performed  {}", r.analyses_performed);
+    let _ = writeln!(t, "coalesced requests  {}", r.coalesced);
+    t.push_str("(floors pinned by crates/bench/tests/serve_equivalence.rs:\n");
+    t.push_str(" >=100 req/s warm, hit rate >=70%, zero failures)\n");
+    r.table = t;
+    r
+}
+
+/// `repro loadgen` backend: runs the harness, records `BENCH_serve.json`
+/// (when snapshots are enabled), returns the table.
+pub fn loadgen_experiment(workers: usize) -> Result<String, String> {
+    use serde::json::Value;
+    use serde::Serialize as _;
+    let config = LoadConfig {
+        workers,
+        ..LoadConfig::default()
+    };
+    let r = run(config)?;
+    crate::snapshot::write(
+        "serve",
+        &Value::object([
+            ("clients", (config.clients as u64).to_json()),
+            (
+                "requests_per_client",
+                (config.requests_per_client as u64).to_json(),
+            ),
+            ("requests", r.requests.to_json()),
+            ("failed", r.failed.to_json()),
+            ("rps", r.rps.to_json()),
+            ("p50_ms", r.p50_ms.to_json()),
+            ("p99_ms", r.p99_ms.to_json()),
+            ("hit_rate", r.hit_rate.to_json()),
+            ("analyses_performed", r.analyses_performed.to_json()),
+            ("coalesced", r.coalesced.to_json()),
+        ]),
+    );
+    Ok(r.table)
+}
+
+/// Minimal raw-socket HTTP client: one request, read to EOF.
+fn request(addr: SocketAddr, raw: &str) -> Result<(u16, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.write_all(raw.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut resp = String::new();
+    s.read_to_string(&mut resp)
+        .map_err(|e| format!("recv: {e}"))?;
+    let status: u16 = resp
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {resp:?}"))?;
+    let body = resp
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> Result<(u16, String), String> {
+    request(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, target: &str) -> Result<(u16, String), String> {
+    request(addr, &format!("GET {target} HTTP/1.1\r\n\r\n"))
+}
+
+fn metric(metrics: &str, name: &str) -> Result<u64, String> {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{name} missing from metrics:\n{metrics}"))
+}

@@ -236,6 +236,31 @@ impl Cdag {
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         self.successors(u).contains(&v)
     }
+
+    /// A process-independent content hash of the graph: FNV-1a over the
+    /// canonical [`textio`](crate::textio) render. Two graphs hash equal
+    /// exactly when they have the same vertex count, tags, labels, and
+    /// edge lists in the same id order — comments and whitespace in an
+    /// uploaded text form never affect the hash, because the render is
+    /// regenerated from the parsed structure. This is the cache key the
+    /// serving layer uses for uploaded `.cdag` bodies.
+    ///
+    /// ```
+    /// use dmc_cdag::textio;
+    /// use dmc_cdag::CdagBuilder;
+    ///
+    /// let mut b = CdagBuilder::new();
+    /// let x = b.add_input("x");
+    /// let y = b.add_op("y", &[x]);
+    /// b.tag_output(y);
+    /// let g = b.build().unwrap();
+    /// let reparsed = textio::from_text(&textio::to_text(&g)).unwrap();
+    /// assert_eq!(g.content_hash(), reparsed.content_hash());
+    /// ```
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        crate::hash::fnv1a_64(crate::textio::to_text(self).as_bytes())
+    }
 }
 
 impl std::fmt::Debug for Cdag {

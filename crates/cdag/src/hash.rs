@@ -1,0 +1,64 @@
+//! Deterministic content hashing for CDAGs and other canonical renders.
+//!
+//! The serving layer keys its result cache on *content*: two requests
+//! that upload the same graph (possibly with different comments or
+//! whitespace in the text form) must map to the same cache slot. The
+//! workspace's determinism contract rules out `DefaultHasher` (its
+//! per-process seed makes hashes unstable across runs — lint rule D1's
+//! spirit), so this module hand-rolls the 64-bit FNV-1a hash: tiny,
+//! dependency-free, and byte-for-byte stable across processes,
+//! platforms, and releases.
+//!
+//! [`Cdag::content_hash`](crate::Cdag::content_hash) is the graph entry
+//! point: it hashes the canonical [`textio`](crate::textio) render, so
+//! any two graphs with the same vertices, tags, labels, and edge lists
+//! hash equal no matter how their text form was formatted.
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// The function is pure and process-independent: the same byte string
+/// hashes to the same value forever, which is what makes it usable as a
+/// content-addressed cache key (unlike `std`'s `DefaultHasher`, which is
+/// randomly seeded per process).
+///
+/// ```
+/// use dmc_cdag::hash::fnv1a_64;
+///
+/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+/// assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
+/// ```
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn stable_across_calls_and_sensitive_to_content() {
+        let a = fnv1a_64(b"cdag 3");
+        assert_eq!(a, fnv1a_64(b"cdag 3"));
+        assert_ne!(a, fnv1a_64(b"cdag 4"));
+    }
+}

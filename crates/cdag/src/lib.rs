@@ -30,6 +30,8 @@
 //! * convex cuts and schedule wavefronts ([`cut`]),
 //! * a parallel batched engine for `max_x |W^min(x)|` ([`engine`]),
 //! * deterministic indexed fan-out over scoped workers ([`fanout`]),
+//! * process-independent FNV-1a content hashing for cache keys
+//!   ([`hash`], [`Cdag::content_hash`]),
 //! * minimum dominator-set cardinalities ([`dominator`]),
 //! * weakly-connected components for automatic decomposition
 //!   ([`components`]),
@@ -53,6 +55,7 @@ pub mod engine;
 pub mod fanout;
 pub mod flow;
 pub mod graph;
+pub mod hash;
 pub mod reach;
 pub mod subgraph;
 pub mod textio;

@@ -321,6 +321,18 @@ proptest! {
         }
     }
 
+    /// The content hash is a function of the canonical render alone:
+    /// parsing a graph's own text form back and hashing it reproduces the
+    /// hash exactly (`hash(from_text(to_text(g))) == hash(g)`).
+    #[test]
+    fn content_hash_survives_text_round_trip(g in arb_dag(20)) {
+        let text = dmc_cdag::textio::to_text(&g);
+        let g2 = dmc_cdag::textio::from_text(&text).unwrap();
+        prop_assert_eq!(g.content_hash(), g2.content_hash());
+        // And the hash really is FNV-1a of the canonical render.
+        prop_assert_eq!(g.content_hash(), dmc_cdag::hash::fnv1a_64(text.as_bytes()));
+    }
+
     #[test]
     fn peak_wavefront_at_least_max_indegree_frontier(g in arb_dag(20)) {
         // Any schedule must at some point hold all predecessors of the
@@ -332,4 +344,53 @@ proptest! {
         // are live; and after the very first fire the wavefront is >= 1.
         prop_assert!(peak >= max_in.max(1));
     }
+}
+
+/// Two builders fed the same vertex set but the edge list in a different
+/// order (with dedup enabled, which sorts the edge list at build time)
+/// produce the same canonical render and therefore the same content
+/// hash; a structurally different graph hashes differently.
+#[test]
+fn content_hash_ignores_edge_insertion_order() {
+    let build = |edge_order: &[(u32, u32)]| {
+        let mut b = CdagBuilder::new();
+        let ids: Vec<VertexId> = (0..4).map(|i| b.add_vertex(format!("v{i}"))).collect();
+        b.dedup_edges(true);
+        for &(u, v) in edge_order {
+            b.add_edge(ids[u as usize], ids[v as usize]);
+        }
+        b.tag_input(ids[0]);
+        b.tag_output(ids[3]);
+        b.build().unwrap()
+    };
+    // The same diamond, edges declared forward and backward.
+    let a = build(&[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    let b = build(&[(2, 3), (1, 3), (0, 2), (0, 1)]);
+    assert_eq!(
+        dmc_cdag::textio::to_text(&a),
+        dmc_cdag::textio::to_text(&b),
+        "canonical renders must agree"
+    );
+    assert_eq!(a.content_hash(), b.content_hash());
+    // A different edge set is a different hash.
+    let c = build(&[(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]);
+    assert_ne!(a.content_hash(), c.content_hash());
+}
+
+/// Comments and blank lines in an uploaded text form never reach the
+/// hash: the render is regenerated from the parsed structure.
+#[test]
+fn content_hash_is_comment_and_whitespace_invariant() {
+    let g = {
+        let mut b = CdagBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_vertex("y");
+        b.add_edge(x, y);
+        b.tag_output(y);
+        b.build().unwrap()
+    };
+    let plain = dmc_cdag::textio::to_text(&g);
+    let noisy = format!("# uploaded by a client\n\n{}\n# trailing note\n", plain);
+    let parsed = dmc_cdag::textio::from_text(&noisy).unwrap();
+    assert_eq!(parsed.content_hash(), g.content_hash());
 }

@@ -412,6 +412,27 @@ impl<'r> KernelSpec<'r> {
         self.kernel.build(&self.values)
     }
 
+    /// A process-independent FNV-1a hash of the canonical
+    /// [`render`](KernelSpec::render) — the serving layer's
+    /// content-addressed cache key for spec-driven requests. Any two
+    /// spec strings that parse to the same full parameter assignment
+    /// hash equal, no matter how they spelled it (omitted defaults,
+    /// whitespace, parameter order).
+    ///
+    /// ```
+    /// use dmc_kernels::catalog::Registry;
+    ///
+    /// let r = Registry::shared();
+    /// let a = r.parse("matmul(n=4)").unwrap();
+    /// let b = r.parse(" matmul( accumulate=tree , n=4 ) ").unwrap();
+    /// assert_eq!(a.content_hash(), b.content_hash());
+    /// assert_ne!(a.content_hash(), r.parse("matmul(n=8)").unwrap().content_hash());
+    /// ```
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        dmc_cdag::hash::fnv1a_64(self.render().as_bytes())
+    }
+
     /// The kernel's executable schedule for `g` (a CDAG this spec built)
     /// at fast-memory capacity `s` — delegates to
     /// [`Kernel::schedule_source`].
@@ -500,6 +521,17 @@ pub enum SpecError {
         /// Validation failure message.
         reason: String,
     },
+    /// The assignment is valid but would build more vertices than the
+    /// admission limit allows ([`Registry::parse_within`]). A distinct
+    /// variant so admission-control callers (the serve daemon's HTTP 413
+    /// path) can tell "too big" apart from "malformed" without string
+    /// matching.
+    TooLarge {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Admission failure message (names `--max-vertices`).
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -541,7 +573,9 @@ impl fmt::Display for SpecError {
                 param,
                 reason,
             } => write!(f, "{kernel}: parameter '{param}': {reason}"),
-            SpecError::Invalid { kernel, reason } => write!(f, "{kernel}: {reason}"),
+            SpecError::Invalid { kernel, reason } | SpecError::TooLarge { kernel, reason } => {
+                write!(f, "{kernel}: {reason}")
+            }
         }
     }
 }
@@ -734,7 +768,7 @@ impl Registry {
         match kernel.approx_vertices(&values) {
             Some(v) if v <= max_vertices => {}
             Some(v) => {
-                return Err(SpecError::Invalid {
+                return Err(SpecError::TooLarge {
                     kernel: kernel.name(),
                     reason: format!(
                         "build would create ~{v} vertices, above the admission limit of \
@@ -744,11 +778,12 @@ impl Registry {
                 })
             }
             None => {
-                return Err(SpecError::Invalid {
+                return Err(SpecError::TooLarge {
                     kernel: kernel.name(),
                     reason: format!(
                         "approximate vertex count overflows u64 — far above the admission \
-                         limit of {max_vertices}"
+                         limit of {max_vertices}; raise it with --max-vertices or \
+                         Registry::parse_within"
                     ),
                 })
             }
@@ -889,7 +924,7 @@ mod tests {
             .unwrap_err();
         let msg = err.to_string();
         assert!(
-            matches!(err, SpecError::Invalid { .. }) && msg.contains("vertices"),
+            matches!(err, SpecError::TooLarge { .. }) && msg.contains("vertices"),
             "{msg}"
         );
     }

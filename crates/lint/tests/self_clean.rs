@@ -27,7 +27,10 @@ fn workspace_is_lint_clean() {
     // live: every rule ran, dozens of files were scanned, and at least
     // one waiver per rule family is being honored somewhere.
     assert_eq!(report.rules_run, vec!["D1", "D2", "D3", "S1", "S2"]);
-    assert!(report.files_scanned >= 50, "{} files", report.files_scanned);
+    // 89 files as of the serve-daemon PR (crates/serve added 5 library
+    // sources); the floor trails the real count so deleting a whole
+    // crate's worth of coverage fails loudly.
+    assert!(report.files_scanned >= 85, "{} files", report.files_scanned);
     assert!(report.waivers_used >= 10, "{} waivers", report.waivers_used);
 }
 

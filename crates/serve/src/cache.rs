@@ -1,0 +1,391 @@
+//! The content-addressed result cache: bounded LRU + single-flight.
+//!
+//! The cache is why the daemon exists: a million identical requests for
+//! `jacobi(n=1024,d=2,t=64)` must cost one analysis. Three properties
+//! carry that:
+//!
+//! * **Content-addressed.** Keys are canonical renders — the kernel
+//!   spec's [`render`](dmc_kernels::catalog::KernelSpec::render) (every
+//!   parameter, declared order) or the FNV-1a
+//!   [`content_hash`](dmc_cdag::Cdag::content_hash) of an uploaded
+//!   graph's canonical text — plus the analysis options that change the
+//!   report. Two requests that *mean* the same analysis hit the same
+//!   slot no matter how they spelled it. (`DefaultHasher` is off the
+//!   table: its per-process seed would make keys unstable across runs,
+//!   against lint rule D1's spirit.)
+//! * **Single-flight.** A concurrent duplicate of an in-flight request
+//!   waits on the one running analysis instead of stampeding: the first
+//!   miss plants an in-flight marker under the lock, computes unlocked,
+//!   and wakes waiters when the value lands. Exactly one analysis per
+//!   distinct key, at any concurrency.
+//! * **Bounded.** Entry-count and byte caps with LRU eviction over a
+//!   `BTreeMap` plus a recency index (monotonic touch ticks), so the
+//!   daemon's memory is a configuration knob, not a function of uptime.
+//!
+//! Everything is deterministic given the request history: ticks are a
+//! counter, not wall-clock, and iteration only ever touches `BTreeMap`s.
+
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Size caps for [`ResultCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum number of cached results (`--cache-entries`).
+    pub max_entries: usize,
+    /// Maximum total bytes of cached bodies (`--cache-bytes`). A single
+    /// body larger than this is served but never cached.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 1024,
+            max_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// How a lookup was served, for metrics and the per-request log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The value was cached before the request arrived.
+    Hit,
+    /// This request ran the analysis (and cached the result).
+    Miss,
+    /// The request arrived while an identical one was in flight and
+    /// waited for its result instead of recomputing.
+    Coalesced,
+}
+
+impl Outcome {
+    /// The fixed label used in log lines and tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Hit => "hit",
+            Outcome::Miss => "miss",
+            Outcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A monotonic snapshot of the cache counters for `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups served from a ready entry.
+    pub hits: u64,
+    /// Lookups that ran the underlying computation.
+    pub misses: u64,
+    /// Lookups that waited on an identical in-flight computation.
+    pub coalesced: u64,
+    /// Entries dropped to respect the size caps.
+    pub evictions: u64,
+    /// Ready entries currently cached.
+    pub entries: usize,
+    /// Total bytes of cached bodies.
+    pub bytes: usize,
+}
+
+/// One slot: either a finished body or a marker that some worker is
+/// computing it right now.
+enum Slot {
+    InFlight,
+    Ready {
+        body: std::sync::Arc<String>,
+        tick: u64,
+    },
+}
+
+#[derive(Default)]
+struct Inner {
+    map: BTreeMap<String, Slot>,
+    /// touch-tick → key, ready entries only; the leftmost entry is the
+    /// least-recently-used eviction candidate.
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+}
+
+/// The bounded, single-flight result cache. See the module docs.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    config: CacheConfig,
+}
+
+impl ResultCache {
+    /// An empty cache with the given caps.
+    pub fn new(config: CacheConfig) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            config,
+        }
+    }
+
+    /// Lock helper: a poisoned mutex only means another worker panicked
+    /// mid-update; the inner state is a plain map that is consistent
+    /// between statements, so recover the guard instead of wedging the
+    /// daemon.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks `key` up; on a miss runs `compute` exactly once (per key,
+    /// across all concurrent callers) and caches a successful result.
+    ///
+    /// Concurrent callers with the same key while the computation runs
+    /// block until it finishes and share its result ([`Outcome::Coalesced`]).
+    /// `compute` runs **without** the cache lock held, so distinct keys
+    /// never serialize each other. Errors are not cached: the marker is
+    /// removed and one waiter (if any) retries the computation.
+    ///
+    /// `compute` must not panic — the service layer catches panics and
+    /// converts them to an `Err` before they reach the cache.
+    pub fn get_or_compute<E>(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<String, E>,
+    ) -> Result<(std::sync::Arc<String>, Outcome), E> {
+        let mut waited = false;
+        let mut inner = self.lock();
+        loop {
+            match inner.map.get(key) {
+                Some(Slot::Ready { body, .. }) => {
+                    let body = std::sync::Arc::clone(body);
+                    if waited {
+                        // The coalesced counter was already bumped when
+                        // this caller started waiting.
+                    } else {
+                        inner.hits += 1;
+                    }
+                    touch(&mut inner, key);
+                    return Ok((
+                        body,
+                        if waited {
+                            Outcome::Coalesced
+                        } else {
+                            Outcome::Hit
+                        },
+                    ));
+                }
+                Some(Slot::InFlight) => {
+                    if !waited {
+                        inner.coalesced += 1;
+                        waited = true;
+                    }
+                    inner = self
+                        .ready
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => {
+                    inner.map.insert(key.to_string(), Slot::InFlight);
+                    inner.misses += 1;
+                    break;
+                }
+            }
+        }
+        drop(inner);
+        let result = compute();
+        let mut inner = self.lock();
+        match result {
+            Ok(body) => {
+                let body = std::sync::Arc::new(body);
+                if body.len() <= self.config.max_bytes {
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    inner.bytes += body.len();
+                    inner.map.insert(
+                        key.to_string(),
+                        Slot::Ready {
+                            body: std::sync::Arc::clone(&body),
+                            tick,
+                        },
+                    );
+                    inner.recency.insert(tick, key.to_string());
+                    self.evict_over_caps(&mut inner);
+                } else {
+                    // Too big to ever cache: serve it, drop the marker.
+                    inner.map.remove(key);
+                }
+                self.ready.notify_all();
+                Ok((body, Outcome::Miss))
+            }
+            Err(e) => {
+                inner.map.remove(key);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Pops least-recently-touched entries until both caps hold.
+    fn evict_over_caps(&self, inner: &mut Inner) {
+        while inner.recency.len() > self.config.max_entries || inner.bytes > self.config.max_bytes {
+            let Some((_, key)) = inner.recency.pop_first() else {
+                return;
+            };
+            if let Some(Slot::Ready { body, .. }) = inner.map.remove(&key) {
+                inner.bytes -= body.len();
+            }
+            inner.evictions += 1;
+        }
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            coalesced: inner.coalesced,
+            evictions: inner.evictions,
+            entries: inner.recency.len(),
+            bytes: inner.bytes,
+        }
+    }
+}
+
+/// Moves `key`'s recency tick to the top (most recently used).
+fn touch(inner: &mut Inner, key: &str) {
+    inner.tick += 1;
+    let new_tick = inner.tick;
+    if let Some(Slot::Ready { tick, .. }) = inner.map.get_mut(key) {
+        let old = *tick;
+        *tick = new_tick;
+        inner.recency.remove(&old);
+        inner.recency.insert(new_tick, key.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn small(max_entries: usize) -> ResultCache {
+        ResultCache::new(CacheConfig {
+            max_entries,
+            max_bytes: 1 << 20,
+        })
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_computes_once() {
+        let cache = small(8);
+        let computed = AtomicUsize::new(0);
+        let f = || -> Result<String, ()> {
+            computed.fetch_add(1, Ordering::Relaxed);
+            Ok("report".to_string())
+        };
+        let (a, o1) = cache.get_or_compute("k", f).unwrap();
+        let (b, o2) = cache
+            .get_or_compute("k", || -> Result<String, ()> {
+                computed.fetch_add(1, Ordering::Relaxed);
+                Ok("other".to_string())
+            })
+            .unwrap();
+        assert_eq!(o1, Outcome::Miss);
+        assert_eq!(o2, Outcome::Hit);
+        assert_eq!(*a, *b);
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_entry_cap_and_recency() {
+        let cache = small(2);
+        let put = |k: &str| {
+            cache
+                .get_or_compute(k, || Ok::<_, ()>(format!("body-{k}")))
+                .unwrap()
+        };
+        put("a");
+        put("b");
+        put("a"); // touch a: b is now LRU
+        put("c"); // evicts b
+        assert_eq!(put("a").1, Outcome::Hit);
+        assert_eq!(put("c").1, Outcome::Hit);
+        assert_eq!(put("b").1, Outcome::Miss, "b was evicted");
+        assert_eq!(cache.stats().evictions, 2); // b once, then a or c for b's re-insert
+    }
+
+    #[test]
+    fn byte_cap_evicts_and_oversized_bodies_bypass() {
+        let cache = ResultCache::new(CacheConfig {
+            max_entries: 100,
+            max_bytes: 10,
+        });
+        let (_, o) = cache
+            .get_or_compute("big", || Ok::<_, ()>("x".repeat(64)))
+            .unwrap();
+        assert_eq!(o, Outcome::Miss);
+        assert_eq!(cache.stats().entries, 0, "oversized body never cached");
+        cache
+            .get_or_compute("s1", || Ok::<_, ()>("12345".to_string()))
+            .unwrap();
+        cache
+            .get_or_compute("s2", || Ok::<_, ()>("123456".to_string()))
+            .unwrap();
+        let s = cache.stats();
+        assert!(s.bytes <= 10, "{} bytes cached", s.bytes);
+        assert!(s.evictions >= 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = small(8);
+        let r = cache.get_or_compute("k", || Err::<String, _>("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        let (_, o) = cache
+            .get_or_compute("k", || Ok::<_, &str>("fine".to_string()))
+            .unwrap();
+        assert_eq!(o, Outcome::Miss, "error left no entry behind");
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_duplicates() {
+        let cache = small(8);
+        let computed = AtomicUsize::new(0);
+        let results: Vec<Outcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let (body, outcome) = cache
+                            .get_or_compute("shared", || {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                // Hold the in-flight window open long
+                                // enough for others to pile in.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                Ok::<_, ()>("the one result".to_string())
+                            })
+                            .unwrap();
+                        assert_eq!(*body, "the one result");
+                        outcome
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            1,
+            "exactly one computation"
+        );
+        assert_eq!(
+            results.iter().filter(|o| **o == Outcome::Miss).count(),
+            1,
+            "{results:?}"
+        );
+        assert!(results
+            .iter()
+            .all(|o| matches!(o, Outcome::Miss | Outcome::Coalesced | Outcome::Hit)));
+    }
+}

@@ -1,0 +1,304 @@
+//! Minimal HTTP/1.1 wire handling over `std::net::TcpStream`.
+//!
+//! Hand-rolled on purpose: the workspace vendors its few dependencies
+//! (no registry access), so the daemon speaks just enough HTTP/1.1 for
+//! its endpoints — request line, headers, `Content-Length` bodies — with
+//! the hostile-input guards a long-running service needs: a read
+//! timeout on every socket (slow-loris requests get 408, the daemon
+//! never wedges on a stalled peer), a bounded header section, and a
+//! bounded body size (oversized uploads get 413 before they are read).
+//! Every response carries `Connection: close`; one request per
+//! connection keeps the attack surface and the state machine tiny.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-connection input limits, set once from the server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the request line + headers, in bytes.
+    pub header_bytes: usize,
+    /// Maximum `Content-Length` accepted, in bytes.
+    pub body_bytes: usize,
+    /// Socket read timeout; an incomplete request past this is a 408.
+    pub read_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            header_bytes: 8 * 1024,
+            body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A parsed request: method, path, decoded query parameters, and the
+/// UTF-8 body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …) exactly as sent.
+    pub method: String,
+    /// The path component of the request target (before any `?`).
+    pub path: String,
+    /// Decoded `key=value` query parameters, in request order.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// The last value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one HTTP status
+/// in the server's error path.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer stalled past the read timeout (→ 408).
+    Timeout,
+    /// The header section exceeded [`Limits::header_bytes`] (→ 431).
+    HeaderTooLarge {
+        /// The configured limit, for the error message.
+        limit: usize,
+    },
+    /// The declared `Content-Length` exceeded [`Limits::body_bytes`]
+    /// (→ 413).
+    BodyTooLarge {
+        /// The configured limit, for the error message.
+        limit: usize,
+    },
+    /// The bytes on the wire are not a parseable HTTP/1.1 request
+    /// (→ 400).
+    Malformed(String),
+    /// The peer closed the connection before a full request arrived;
+    /// nothing to respond to.
+    Closed,
+    /// A socket error other than a timeout; nothing to respond to.
+    Io(String),
+}
+
+/// Reads one HTTP/1.1 request from `stream` under `limits`.
+///
+/// Blocks until a full request (headers + declared body) has arrived,
+/// the peer closes, a limit trips, or the read timeout fires.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, RecvError> {
+    stream
+        .set_read_timeout(Some(limits.read_timeout))
+        .map_err(|e| RecvError::Io(e.to_string()))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Phase 1: accumulate until the blank line that ends the headers.
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            if pos > limits.header_bytes {
+                return Err(RecvError::HeaderTooLarge {
+                    limit: limits.header_bytes,
+                });
+            }
+            break pos;
+        }
+        if buf.len() > limits.header_bytes {
+            return Err(RecvError::HeaderTooLarge {
+                limit: limits.header_bytes,
+            });
+        }
+        let n = read_some(stream, &mut chunk)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(RecvError::Closed)
+            } else {
+                Err(RecvError::Malformed("truncated request head".to_string()))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| RecvError::Malformed("request head is not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RecvError::Malformed("empty request head".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RecvError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RecvError::Malformed(format!("bad header line {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RecvError::Malformed(format!("bad Content-Length {value:?}")))?;
+        }
+    }
+    if content_length > limits.body_bytes {
+        return Err(RecvError::BodyTooLarge {
+            limit: limits.body_bytes,
+        });
+    }
+    // Phase 2: the body — whatever followed the blank line plus the rest.
+    let body_start = header_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = read_some(stream, &mut chunk)?;
+        if n == 0 {
+            return Err(RecvError::Malformed("truncated request body".to_string()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| RecvError::Malformed("request body is not UTF-8".to_string()))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query,
+        body,
+    })
+}
+
+/// One `read` call with timeout mapping; retries on `Interrupted`.
+fn read_some(stream: &mut TcpStream, chunk: &mut [u8]) -> Result<usize, RecvError> {
+    loop {
+        match stream.read(chunk) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(RecvError::Timeout)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RecvError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Position of the `\r\n\r\n` separator, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a raw query string into decoded `key=value` pairs. A key
+/// without `=` maps to the empty string (so `?hierarchical` works like
+/// `?hierarchical=true`... the service treats presence as truthy).
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+`-for-space; bad escapes pass through
+/// verbatim (the service rejects unknown parameter values loudly anyway).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h * 16 + l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b {
+        Some(c @ b'0'..=b'9') => Some(c - b'0'),
+        Some(c @ b'a'..=b'f') => Some(c - b'a' + 10),
+        Some(c @ b'A'..=b'F') => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Writes one complete response and flushes. Every response closes the
+/// connection (`Connection: close`); returns the body size written so
+/// the access log can record it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<usize> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(body.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_decodes_pairs() {
+        let q = parse_query("sram=64&spec=jacobi%28n%3D8%29&flag&x=a+b");
+        assert_eq!(q[0], ("sram".to_string(), "64".to_string()));
+        assert_eq!(q[1], ("spec".to_string(), "jacobi(n=8)".to_string()));
+        assert_eq!(q[2], ("flag".to_string(), String::new()));
+        assert_eq!(q[3], ("x".to_string(), "a b".to_string()));
+    }
+
+    #[test]
+    fn bad_percent_escapes_pass_through() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("a%zzb"), "a%zzb");
+        assert_eq!(percent_decode("%41"), "A");
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! `dmc-serve` — bounds-as-a-service: the dmc analysis pipeline behind a
+//! threaded HTTP/1.1 daemon with a content-addressed result cache.
+//!
+//! The paper's analysis pipeline is deterministic and pure: the same
+//! kernel spec (or `.cdag` graph) and the same options always produce
+//! the same report, bit for bit, at any thread count. That purity is an
+//! invitation to memoize — this crate accepts it. `repro serve` exposes
+//!
+//! * `GET /catalog` — the kernel-spec catalog (`repro list`),
+//! * `GET /healthz`, `GET /metrics` — liveness and counters,
+//! * `POST /analyze` — the certified-bound report, byte-identical to
+//!   `repro analyze --kernel <spec> --format json`,
+//! * `POST /simulate` — the validation-sandwich report,
+//! * `POST /shutdown` — graceful drain-and-exit,
+//!
+//! with every result cached under its *content*: the canonical spec
+//! render or the FNV-1a hash of the graph's canonical text
+//! ([`dmc_cdag::Cdag::content_hash`]). Concurrent duplicates coalesce
+//! onto one in-flight analysis ([`cache`]), the cache is bounded (LRU),
+//! and admission control rejects oversized builds with HTTP 413 before
+//! any memory is committed.
+//!
+//! The stack is hand-rolled on `std::net` ([`http`]) because the
+//! workspace vendors its dependencies — no tokio, no hyper — and the
+//! daemon needs only a deliberately small slice of HTTP/1.1. Module
+//! map: [`http`] (wire) → [`server`] (accept loop + worker pool) →
+//! [`service`] (routes + admission + compute) → [`cache`]
+//! (content-addressed LRU + single-flight).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheConfig, CacheStats, Outcome, ResultCache};
+pub use http::Limits;
+pub use server::{ServeSummary, Server, ServerConfig};
+pub use service::{Reply, Service, ServiceConfig};
