@@ -13,6 +13,8 @@
 //!               [--hierarchical [--clusters K]] [--max-vertices N]
 //! repro simulate --kernel '<spec>' [--sram-sweep lo:hi:step] [--policy lru|opt]
 //!                [--threads N] [--format text|json]
+//! repro simulate --machine <name|'all'|spec-file> [--kernel '<spec>'] [--sram S1]
+//!                [--policy lru|opt] [--threads N] [--format text|json]
 //! repro lint [--format text|json] [--rules d1,d2,...]
 //! repro serve [--addr HOST:PORT] [--workers N] [--threads N]
 //!             [--cache-entries K] [--cache-bytes B] [--max-vertices N]
@@ -36,7 +38,15 @@
 //! hook on the cache simulator across the S-sweep and sandwiches the
 //! measured I/O between the certified lower and upper bounds (the sweep
 //! defaults to three octaves up from the schedule's minimum feasible S;
-//! `--policy` restricts measurement to one eviction policy). `lint` runs
+//! `--policy` restricts measurement to one eviction policy). `simulate
+//! --machine` instead judges kernels against a *machine*: the DAG is dealt
+//! round-robin across the node's cores and measured at every boundary of
+//! the machine's register/LLC/DRAM hierarchy, each level a certified
+//! sandwich plus the Equation-7/8 roofline verdicts (`<name>` is a catalog
+//! entry — see the E1 table — `all` sweeps the catalog, any other value is
+//! read as a `key = value` spec file; `--sram S1` sets the per-core
+//! level-1 words, default 64; omitting `--kernel` sweeps the E17 set, and
+//! the snapshot lands in `BENCH_machine.json`). `lint` runs
 //! the `dmc-lint` determinism/soundness pass over the workspace sources
 //! (exit 0 clean, 1 on violations, 2 on unused waivers; `--rules`
 //! restricts to a comma-separated rule subset, e.g. `d1,s1`). `serve`
@@ -59,7 +69,8 @@ fn usage_error(msg: &str) -> ! {
          <file.cdag> or --kernel '<spec>', --sram S, --format text|json, \
          --hierarchical, --clusters K, --max-vertices N; \
          simulate takes --kernel '<spec>', --sram-sweep lo:hi:step, \
-         --policy lru|opt, --format text|json; \
+         --policy lru|opt, --format text|json, or --machine \
+         <name|'all'|spec-file> with --sram S1; \
          lint takes --format text|json and --rules d1,d2,d3,s1,s2; \
          serve takes --addr HOST:PORT, --workers N, --threads N, \
          --cache-entries K, --cache-bytes B, --max-vertices N; \
@@ -81,6 +92,7 @@ struct Args {
     format: Option<ReportFormat>,
     sram_sweep: Option<(u64, u64, u64)>,
     policy: Option<CachePolicy>,
+    machine: Option<String>,
     rules: Option<String>,
     hierarchical: bool,
     clusters: Option<usize>,
@@ -109,6 +121,7 @@ fn parse_args(args: &[String]) -> Args {
         format: None,
         sram_sweep: None,
         policy: None,
+        machine: None,
         rules: None,
         hierarchical: false,
         clusters: None,
@@ -169,6 +182,10 @@ fn parse_args(args: &[String]) -> Args {
                     "opt" => CachePolicy::Opt,
                     _ => usage_error("--policy must be 'lru' or 'opt'"),
                 });
+            }
+            "--machine" => {
+                let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--machine"));
+                parsed.machine = Some(v);
             }
             "--rules" => {
                 let v = inline.unwrap_or_else(|| take_value(args, &mut i, "--rules"));
@@ -325,11 +342,21 @@ fn main() {
     if args.kernel.is_some() && args.file.is_some() {
         usage_error("give either a <file.cdag> or --kernel '<spec>', not both");
     }
-    if simulating && args.kernel.is_none() {
-        usage_error("simulate needs --kernel '<spec>' (see `repro list`)");
+    if simulating && args.kernel.is_none() && args.machine.is_none() {
+        usage_error("simulate needs --kernel '<spec>' or --machine <name> (see `repro list`)");
     }
-    if args.sram.is_some() && !analyzing_input {
-        usage_error("--sram only applies to 'analyze <file.cdag>' or 'analyze --kernel'");
+    if args.machine.is_some() && !simulating {
+        usage_error("--machine only applies to 'simulate'");
+    }
+    let machine_sim = simulating && args.machine.is_some();
+    if args.sram.is_some() && !(analyzing_input || machine_sim) {
+        usage_error(
+            "--sram only applies to 'analyze <file.cdag>', 'analyze --kernel', \
+             and 'simulate --machine' (the per-core S1)",
+        );
+    }
+    if args.sram_sweep.is_some() && machine_sim {
+        usage_error("--sram-sweep does not apply to 'simulate --machine'; use --sram to set S1");
     }
     let linting = arg == "lint";
     if args.format.is_some() && !(analyzing_input || simulating || linting) {
@@ -405,7 +432,15 @@ fn main() {
             args.format.unwrap_or(ReportFormat::Text),
         );
     }
-    let out = dmc_bench::snapshot::timed(&arg, threads, || match arg.as_str() {
+    // `simulate --machine` gets its own perf-snapshot series
+    // (`BENCH_machine.json`) so the machine sweep's trajectory is
+    // tracked separately from the single-cache sweep's.
+    let snap_name = if arg == "simulate" && args.machine.is_some() {
+        "machine"
+    } else {
+        arg.as_str()
+    };
+    let out = dmc_bench::snapshot::timed(snap_name, threads, || match arg.as_str() {
         "table1" => dmc_bench::table1(),
         "sec3" => dmc_bench::sec3_composite(&[2, 4, 8]),
         "cg" => dmc_bench::cg_experiment(),
@@ -443,16 +478,31 @@ fn main() {
         "catalog" => dmc_bench::catalog_experiment_with(threads),
         "simulate" => {
             let format = args.format.unwrap_or(ReportFormat::Text);
-            // Checked above, but routed through the usage error rather
-            // than a panic so the path stays panic-free (lint rule S1).
-            let Some(spec) = args.kernel.as_deref() else {
-                usage_error("simulate needs --kernel '<spec>' (see `repro list`)");
-            };
-            dmc_bench::simulate_kernel_spec(spec, args.sram_sweep, args.policy, threads, format)
+            if let Some(machine) = args.machine.as_deref() {
+                dmc_bench::simulate_machine(
+                    machine,
+                    args.kernel.as_deref(),
+                    args.sram.unwrap_or(dmc_bench::DEFAULT_MACHINE_S1),
+                    args.policy,
+                    threads,
+                    format,
+                )
                 .unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2);
                 })
+            } else {
+                // Checked above, but routed through the usage error rather
+                // than a panic so the path stays panic-free (lint rule S1).
+                let Some(spec) = args.kernel.as_deref() else {
+                    usage_error("simulate needs --kernel '<spec>' (see `repro list`)");
+                };
+                dmc_bench::simulate_kernel_spec(spec, args.sram_sweep, args.policy, threads, format)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    })
+            }
         }
         "scale" => dmc_bench::scale_experiment_with(threads),
         "list" => dmc_bench::list_catalog(),

@@ -19,6 +19,7 @@ use dmc_machine::specs;
 use dmc_machine::MemoryHierarchy;
 use dmc_sim::schedule;
 use dmc_sim::simulate;
+use serde::Serialize;
 use std::fmt::Write as _;
 
 /// E1 — Table 1: machine specs and balance parameters.
@@ -896,6 +897,195 @@ pub fn simulate_kernel_spec(
     })
 }
 
+/// The kernels of the E17 machine-roofline table — the same four
+/// schedule-bearing families the E15 sandwich validates, so the two
+/// tables judge identical DAGs.
+pub const E17_KERNELS: [&str; 4] = [
+    "jacobi(n=8,d=1,t=8)",
+    "matmul(n=4)",
+    "fft(n=8)",
+    "composite(n=3)",
+];
+
+/// Default per-core level-1 capacity (words) for machine simulation when
+/// `--sram` is not given.
+pub const DEFAULT_MACHINE_S1: u64 = 64;
+
+/// Resolves the `--machine` argument to a list of [`dmc_machine::MachineSpec`]s:
+/// a catalog name (case-insensitive), `all`/`catalog` for the whole
+/// sweep, or a path to a `key = value` spec file. Unknown names are loud
+/// errors listing the valid catalog entries.
+pub fn resolve_machines(arg: &str) -> Result<Vec<dmc_machine::MachineSpec>, String> {
+    use dmc_machine::specs;
+    let trimmed = arg.trim();
+    if trimmed.eq_ignore_ascii_case("all") || trimmed.eq_ignore_ascii_case("catalog") {
+        return Ok(specs::machine_catalog());
+    }
+    if let Some(m) = specs::find_machine(trimmed) {
+        return Ok(vec![m]);
+    }
+    if std::path::Path::new(trimmed).exists() {
+        let text = std::fs::read_to_string(trimmed)
+            .map_err(|e| format!("cannot read machine spec file {trimmed}: {e}"))?;
+        return dmc_machine::MachineSpec::parse_spec_text(&text)
+            .map(|m| vec![m])
+            .map_err(|e| format!("machine spec file {trimmed}: {e}"));
+    }
+    Err(format!(
+        "unknown machine '{trimmed}': not a catalog entry ({}) and no such spec file; \
+         use a catalog name, 'all', or a key = value spec file",
+        specs::catalog_names().join(", ")
+    ))
+}
+
+/// Simulates kernels against machine hierarchies and renders the
+/// roofline verdict table — the `repro simulate --machine <arg>` backend.
+///
+/// `machine_arg` is a catalog name, `all`/`catalog`, or a spec-file path
+/// (see [`resolve_machines`]); `kernel` restricts the sweep to one
+/// catalog spec (`None` = the [`E17_KERNELS`] set); `s1` is the per-core
+/// level-1 capacity in words. A single kernel × machine pair in JSON
+/// renders the bare [`dmc_core::MachineValidationReport`] (the shape the
+/// serve daemon mirrors byte-for-byte); multi-report runs wrap them in a
+/// `{"reports": [...]}` envelope.
+pub fn simulate_machine(
+    machine_arg: &str,
+    kernel: Option<&str>,
+    s1: u64,
+    policy: Option<dmc_sim::CachePolicy>,
+    threads: usize,
+    format: ReportFormat,
+) -> Result<String, String> {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    if s1 == 0 {
+        return Err("--sram (the per-core level-1 capacity) must be >= 1".into());
+    }
+    let machines = resolve_machines(machine_arg)?;
+    let kernels: Vec<&str> = match kernel {
+        Some(k) => vec![k],
+        None => E17_KERNELS.to_vec(),
+    };
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        threads,
+        ..AnalyzerConfig::default()
+    });
+    let mut reports = Vec::new();
+    for spec in &kernels {
+        for machine in &machines {
+            let r = analyzer
+                .validate_machine_spec(spec, machine, s1, policy)
+                .map_err(|e| format!("{e}\n(run `repro list` for the catalog)"))?;
+            reports.push(r);
+        }
+    }
+    Ok(match format {
+        ReportFormat::Text => {
+            let mut out = String::new();
+            for r in &reports {
+                let _ = writeln!(
+                    out,
+                    "== repro simulate --machine {} --kernel {} ==\n{r}",
+                    r.machine, r.spec
+                );
+            }
+            out
+        }
+        ReportFormat::Json => {
+            let mut json = if reports.len() == 1 {
+                serde::json::to_string(&reports[0])
+            } else {
+                serde::json::to_string(&serde::json::Value::object([(
+                    "reports",
+                    reports.to_json(),
+                )]))
+            };
+            json.push('\n');
+            json
+        }
+    })
+}
+
+/// E17 — the machine-hierarchy roofline: every E17 kernel dealt across
+/// each catalog machine's cores, measured at every cache boundary, each
+/// row a certified sandwich with the Equation-7/8 verdicts.
+pub fn machine_experiment() -> String {
+    machine_experiment_with(0)
+}
+
+/// [`machine_experiment`] with an explicit thread budget (`0` = auto).
+pub fn machine_experiment_with(threads: usize) -> String {
+    use dmc_core::pipeline::{Analyzer, AnalyzerConfig};
+    let mut out = String::from(
+        "== E17: machine-hierarchy roofline (per-level sandwich + verdicts) ==\n\
+         certified LB <= measured OPT <= measured LRU <= certified UB at every boundary:\n",
+    );
+    out.push_str(
+        "spec                     machine      level       LB(cert)  LRU(io)  UB(cert)  w/F      balance  verdict\n",
+    );
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        threads,
+        ..AnalyzerConfig::default()
+    });
+    for spec in E17_KERNELS {
+        for machine in dmc_machine::specs::machine_catalog() {
+            let r = analyzer
+                .validate_machine_spec(spec, &machine, DEFAULT_MACHINE_S1, None)
+                // dmc-lint: allow(s1) -- hardcoded E17 spec strings; parse failure is a broken fixture, caught by the repro_cli tier-1 test
+                .expect("E17 specs are valid");
+            assert!(
+                r.sandwich_holds(),
+                "{spec} on {}: machine sandwich violated:\n{r}",
+                machine.name
+            );
+            for p in &r.levels {
+                assert_eq!(
+                    p.sandwich_ok(),
+                    Some(true),
+                    "{spec} on {} level {}: {p:?}",
+                    machine.name,
+                    p.level
+                );
+                let io = |t: &Option<dmc_sim::Trace>| t.as_ref().map_or(0, |t| t.io());
+                let wpf = io(&p.measured_lru) as f64 / r.flops.max(1.0);
+                let balance = p
+                    .balance_words_per_flop
+                    .map(|b| format!("{b:.4}"))
+                    .unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "{spec:<24} {:<12} {:<11} {:<9} {:<8} {:<9} {:<8.4} {:<8} {}",
+                    r.machine,
+                    p.name,
+                    p.certified_lower,
+                    io(&p.measured_lru),
+                    p.certified_upper.unwrap_or(0),
+                    wpf,
+                    balance,
+                    p.verdict,
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{spec:<24} {:<12} {:<11} {:<9} {:<8} {:<9} {:<8.4} {:<8} {}",
+                r.machine,
+                "network",
+                "-",
+                r.remote_words,
+                "-",
+                r.remote_words_per_flop(),
+                format!("{:.4}", r.horizontal_balance),
+                r.network_verdict,
+            );
+        }
+    }
+    out.push_str(
+        "(each row sandwiches the round-robin wavefront split's measured traffic\n\
+         between the Lemma-2-aware pipeline LB and the RBW executor UB at that\n\
+         boundary's aggregate capacity — Section 5's Table-1 judgement, automated)\n",
+    );
+    out
+}
+
 /// Partition ablation — Theorem 1 construction vs greedy chunking.
 pub fn partition_experiment() -> String {
     let mut out = String::from("== partition ablation: Theorem-1 vs greedy ==\n");
@@ -1042,6 +1232,8 @@ pub fn run_all_with(threads: usize) -> String {
     out.push_str(&catalog_experiment_with(threads));
     out.push('\n');
     out.push_str(&simulate_experiment_with(threads));
+    out.push('\n');
+    out.push_str(&machine_experiment_with(threads));
     out.push('\n');
     out.push_str(&partition_experiment());
     out.push('\n');

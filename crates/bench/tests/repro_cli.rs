@@ -451,3 +451,160 @@ fn simulate_policy_filter_and_errors() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("repro list"), "{stderr}");
 }
+
+#[test]
+fn simulate_machine_prints_the_roofline_table() {
+    let out = repro()
+        .args(["simulate", "--machine", "IBM BG/Q", "--kernel", "fft(n=8)"])
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "simulate --machine must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("== repro simulate --machine IBM BG/Q --kernel fft(n=8) =="),
+        "{stdout}"
+    );
+    assert!(stdout.contains("on IBM BG/Q"), "{stdout}");
+    assert!(stdout.contains("round-robin wavefront split"), "{stdout}");
+    // Every cache boundary gets a row, plus the network row's verdict.
+    for needle in ["registers", "LLC", "network"] {
+        assert!(stdout.contains(needle), "missing {needle}: {stdout}");
+    }
+    assert!(
+        stdout.contains("memory-bound")
+            || stdout.contains("compute-bound")
+            || stdout.contains("network-bound"),
+        "a roofline verdict is printed: {stdout}"
+    );
+}
+
+#[test]
+fn simulate_machine_json_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = repro()
+            .args([
+                "simulate",
+                "--machine",
+                "all",
+                "--kernel",
+                "jacobi(n=8,d=1,t=4)",
+                "--format",
+                "json",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("repro binary runs");
+        assert!(out.status.success(), "machine json must exit 0");
+        out.stdout
+    };
+    let base = run("1");
+    let body = String::from_utf8_lossy(&base);
+    assert!(body.trim().starts_with("{\"reports\":["), "{body}");
+    for key in [
+        "\"machine\":\"IBM BG/Q\"",
+        "\"machine\":\"Cray XT5\"",
+        "\"machine\":\"K computer\"",
+        "\"network_verdict\"",
+        "\"levels\"",
+    ] {
+        assert!(body.contains(key), "missing {key}: {body}");
+    }
+    for threads in ["2", "4"] {
+        assert_eq!(
+            run(threads),
+            base,
+            "machine JSON differs @ {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn simulate_machine_accepts_a_spec_file() {
+    let dir = std::env::temp_dir().join(format!("repro-machine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("toy.machine");
+    std::fs::write(
+        &path,
+        "# a toy machine\n\
+         name = Toy\n\
+         nodes = 1\n\
+         cores_per_node = 2\n\
+         gflops_per_core = 1.0\n\
+         memory_gb = 1.0\n\
+         llc_mb = 0.5\n\
+         dram_bandwidth_gbs = 10.0\n\
+         network_bandwidth_gbs = 5.0\n\
+         word_bytes = 8\n",
+    )
+    .expect("spec file written");
+    let out = repro()
+        .args([
+            "simulate",
+            "--machine",
+            path.to_str().expect("utf8 temp path"),
+            "--kernel",
+            "fft(n=8)",
+        ])
+        .output()
+        .expect("repro binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(out.status.success(), "spec-file machine must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("on Toy"), "{stdout}");
+}
+
+#[test]
+fn simulate_machine_errors_are_loud() {
+    let out = repro()
+        .args(["simulate", "--machine", "bogus", "--kernel", "fft(n=8)"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown machine must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown machine 'bogus'"),
+        "stderr names the bad machine: {stderr}"
+    );
+    for entry in ["IBM BG/Q", "Cray XT5", "K computer"] {
+        assert!(stderr.contains(entry), "catalog entry {entry}: {stderr}");
+    }
+
+    let out = repro()
+        .args(["analyze", "--machine", "IBM BG/Q"])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "--machine outside simulate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("only applies to 'simulate'"), "{stderr}");
+
+    let out = repro()
+        .args([
+            "simulate",
+            "--machine",
+            "IBM BG/Q",
+            "--kernel",
+            "fft(n=8)",
+            "--sram-sweep",
+            "4:16:4",
+        ])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "--sram-sweep with --machine");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--sram-sweep does not apply"), "{stderr}");
+
+    let out = repro()
+        .args([
+            "simulate",
+            "--machine",
+            "IBM BG/Q",
+            "--kernel",
+            "fft(n=8)",
+            "--sram",
+            "0",
+        ])
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2), "--sram 0 must exit 2");
+}

@@ -113,6 +113,40 @@ fn simulate_bodies_match_the_cli_byte_for_byte() {
 }
 
 #[test]
+fn simulate_machine_bodies_match_the_cli_byte_for_byte() {
+    let (addr, handle) = start();
+    // `machine=IBM+BG%2FQ` — the request target cannot hold raw spaces
+    // or slashes; the daemon percent-decodes query values.
+    let target = "/simulate?machine=IBM+BG%2FQ";
+    let (status, http_body) = post(addr, target, "fft(n=8)");
+    assert_eq!(status, 200, "{http_body}");
+    let cli = dmc_bench::simulate_machine(
+        "IBM BG/Q",
+        Some("fft(n=8)"),
+        dmc_bench::DEFAULT_MACHINE_S1,
+        None,
+        1,
+        ReportFormat::Json,
+    )
+    .expect("CLI path succeeds");
+    assert_eq!(
+        http_body, cli,
+        "machine body diverged from `repro simulate --machine --format json`"
+    );
+    // The cache hit serves the same bytes.
+    let (_, again) = post(addr, target, "fft(n=8)");
+    assert_eq!(again, cli, "cached machine body diverged");
+    // The whole-catalog sweep wraps in the same envelope as the CLI.
+    let (status, all_body) = post(addr, "/simulate?machine=all&sram=8", "fft(n=8)");
+    assert_eq!(status, 200, "{all_body}");
+    let cli_all =
+        dmc_bench::simulate_machine("all", Some("fft(n=8)"), 8, None, 1, ReportFormat::Json)
+            .expect("CLI path succeeds");
+    assert_eq!(all_body, cli_all, "machine=all body diverged from the CLI");
+    stop(addr, handle);
+}
+
+#[test]
 fn loadgen_meets_the_acceptance_floors() {
     let r = dmc_bench::loadgen::run(dmc_bench::loadgen::LoadConfig {
         clients: 8,

@@ -31,6 +31,10 @@
 //!   the `dmc-sim` cache simulator along their own schedule hooks, the
 //!   measured I/O sandwiched per `S` between the pipeline's certified
 //!   lower bound and the RBW executor's certified upper bound.
+//! * **Machine validation** ([`machine_validate`]): the same sandwich at
+//!   every boundary of a [`dmc_machine::MachineSpec`]'s node hierarchy,
+//!   under a deterministic P-processor wavefront split, with Equation-7/8
+//!   roofline verdicts per level and for the network.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -39,6 +43,7 @@
 pub mod analysis;
 pub mod bounds;
 pub mod games;
+pub mod machine_validate;
 pub mod parallel;
 pub mod partition;
 pub mod pipeline;
@@ -46,5 +51,6 @@ pub mod validate;
 
 pub use bounds::{IoBound, Method, Provenance};
 pub use games::{GameError, GameTrace, Move};
+pub use machine_validate::{MachineLevelPoint, MachineValidationReport};
 pub use pipeline::{AnalysisReport, Analyzer, AnalyzerConfig};
 pub use validate::{ValidationPoint, ValidationReport};

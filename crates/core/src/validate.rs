@@ -98,7 +98,7 @@ impl ValidationPoint {
     }
 }
 
-fn trace_json(t: &Trace) -> Value {
+pub(crate) fn trace_json(t: &Trace) -> Value {
     Value::object([
         ("loads", t.loads.to_json()),
         ("stores", t.stores.to_json()),

@@ -82,6 +82,134 @@ impl MachineSpec {
         )
     }
 
+    /// The *single-node* hierarchy this spec induces, in words — the
+    /// machine the hierarchy simulator runs a kernel against: level 1 is
+    /// `cores_per_node` private register files of `s1` words each, level
+    /// 2 the shared last-level cache ([`MachineSpec::llc_words`], the
+    /// `llc_mb` column through `word_bytes`), level 3 the node's DRAM
+    /// ([`MachineSpec::memory_words`]), which the simulator treats as
+    /// the backing store.
+    ///
+    /// ```
+    /// let m = dmc_machine::specs::ibm_bgq();
+    /// let h = m.node_hierarchy(64);
+    /// assert_eq!(h.num_levels(), 3);
+    /// assert_eq!(h.processors(), 16);
+    /// assert_eq!(h.capacity(2), 4_000_000); // 32 MB L2 at 8 B/word
+    /// ```
+    pub fn node_hierarchy(&self, s1: u64) -> MemoryHierarchy {
+        MemoryHierarchy::new(vec![
+            crate::hierarchy::Level::new("registers", self.cores_per_node.max(1), s1),
+            crate::hierarchy::Level::new("LLC", 1, self.llc_words().max(1)),
+            crate::hierarchy::Level::new("DRAM", 1, self.memory_words().max(1)),
+        ])
+        // dmc-lint: allow(s1) -- units are (cores, 1, 1) with capacities clamped positive; the hierarchy invariants hold by construction
+        .expect("node hierarchy is always valid")
+    }
+
+    /// The degenerate *one-cache-level* hierarchy of this spec: a single
+    /// fast memory of `s` words over the node's DRAM. Running the
+    /// hierarchy simulator on it must reproduce the single-cache
+    /// `Simulation::run` trace exactly — the differential oracle the
+    /// test suite pins.
+    pub fn single_level_hierarchy(&self, s: u64) -> MemoryHierarchy {
+        MemoryHierarchy::new(vec![
+            crate::hierarchy::Level::new("cache", 1, s.max(1)),
+            crate::hierarchy::Level::new("DRAM", 1, self.memory_words().max(1)),
+        ])
+        // dmc-lint: allow(s1) -- two levels of one unit each with clamped-positive capacities; validation cannot fail
+        .expect("single-level hierarchy is always valid")
+    }
+
+    /// Parses a machine spec file: one `key = value` pair per line, `#`
+    /// comments and blank lines ignored. Every field of [`MachineSpec`]
+    /// is required (`name`, `nodes`, `cores_per_node`, `gflops_per_core`,
+    /// `memory_gb`, `llc_mb`, `dram_bandwidth_gbs`,
+    /// `network_bandwidth_gbs`, `word_bytes`); unknown or repeated keys
+    /// are loud errors, so a typo cannot silently fall back to a default.
+    ///
+    /// ```
+    /// let text = "name = Toy\nnodes = 4\ncores_per_node = 2\n\
+    ///             gflops_per_core = 1.0\nmemory_gb = 1.0\nllc_mb = 1.0\n\
+    ///             dram_bandwidth_gbs = 10.0\nnetwork_bandwidth_gbs = 5.0\n\
+    ///             word_bytes = 8.0\n";
+    /// let m = dmc_machine::MachineSpec::parse_spec_text(text).unwrap();
+    /// assert_eq!(m.total_cores(), 8);
+    /// ```
+    pub fn parse_spec_text(text: &str) -> Result<MachineSpec, String> {
+        const KEYS: [&str; 9] = [
+            "name",
+            "nodes",
+            "cores_per_node",
+            "gflops_per_core",
+            "memory_gb",
+            "llc_mb",
+            "dram_bandwidth_gbs",
+            "network_bandwidth_gbs",
+            "word_bytes",
+        ];
+        let mut seen: Vec<(&str, String)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "machine spec line {}: expected 'key = value', got {line:?}",
+                    lineno + 1
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(&canon) = KEYS.iter().find(|&&k| k == key) else {
+                return Err(format!(
+                    "machine spec line {}: unknown key {key:?} (valid keys: {})",
+                    lineno + 1,
+                    KEYS.join(", ")
+                ));
+            };
+            if seen.iter().any(|(k, _)| *k == canon) {
+                return Err(format!(
+                    "machine spec line {}: key {key:?} given twice",
+                    lineno + 1
+                ));
+            }
+            seen.push((canon, value.to_string()));
+        }
+        let get = |key: &str| -> Result<String, String> {
+            seen.iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("machine spec is missing required key {key:?}"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            let v = get(key)?;
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| {
+                    format!("machine spec key {key:?} needs a positive number, got {v:?}")
+                })
+        };
+        let uint = |key: &str| -> Result<usize, String> {
+            let v = get(key)?;
+            v.parse::<usize>().ok().filter(|&x| x >= 1).ok_or_else(|| {
+                format!("machine spec key {key:?} needs a positive integer, got {v:?}")
+            })
+        };
+        Ok(MachineSpec {
+            name: get("name")?,
+            nodes: uint("nodes")?,
+            cores_per_node: uint("cores_per_node")?,
+            gflops_per_core: num("gflops_per_core")?,
+            memory_gb: num("memory_gb")?,
+            llc_mb: num("llc_mb")?,
+            dram_bandwidth_gbs: num("dram_bandwidth_gbs")?,
+            network_bandwidth_gbs: num("network_bandwidth_gbs")?,
+            word_bytes: num("word_bytes")?,
+        })
+    }
+
     /// One formatted row of the paper's Table 1:
     /// `name, N_nodes, Mem (GB), LLC (MB), vertical, horizontal`.
     pub fn table1_row(&self) -> String {

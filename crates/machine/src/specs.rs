@@ -54,6 +54,33 @@ pub fn table1_machines() -> Vec<MachineSpec> {
     vec![ibm_bgq(), cray_xt5()]
 }
 
+/// The simulation catalog: the machines `repro simulate --machine`
+/// sweeps — Table 1 plus the contemporary K computer.
+pub fn machine_catalog() -> Vec<MachineSpec> {
+    let mut v = table1_machines();
+    v.push(k_computer());
+    v
+}
+
+/// The catalog entry names, in sweep order — the valid values of
+/// `repro simulate --machine <name>` (matched case-insensitively by
+/// [`find_machine`]).
+pub fn catalog_names() -> Vec<String> {
+    machine_catalog().into_iter().map(|m| m.name).collect()
+}
+
+/// Case-insensitive lookup of a catalog machine by name.
+///
+/// ```
+/// assert!(dmc_machine::specs::find_machine("ibm bg/q").is_some());
+/// assert!(dmc_machine::specs::find_machine("warp drive").is_none());
+/// ```
+pub fn find_machine(name: &str) -> Option<MachineSpec> {
+    machine_catalog()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name.trim()))
+}
+
 /// Fujitsu K computer (contemporary with the paper; SPARC64 VIIIfx,
 /// 8 c × 16 GF, 64 GB/s memory, Tofu 6D torus ~20 GB/s injection). Not in
 /// Table 1; included to extend the balance comparison.
@@ -177,6 +204,21 @@ mod tests {
         let k = k_computer();
         assert!((k.vertical_balance() - 0.0625).abs() < 1e-9);
         assert!(k.vertical_balance() > ibm_bgq().vertical_balance());
+    }
+
+    #[test]
+    fn simulation_catalog_is_table1_plus_k() {
+        let names = catalog_names();
+        assert_eq!(names, ["IBM BG/Q", "Cray XT5", "K computer"]);
+        assert_eq!(machine_catalog().len(), 3);
+    }
+
+    #[test]
+    fn find_machine_is_case_insensitive_and_trims() {
+        assert_eq!(find_machine("ibm bg/q").map(|m| m.nodes), Some(2048));
+        assert_eq!(find_machine("  K COMPUTER ").map(|m| m.nodes), Some(82944));
+        assert!(find_machine("Summit-like").is_none(), "not in the catalog");
+        assert!(find_machine("bogus").is_none());
     }
 
     #[test]

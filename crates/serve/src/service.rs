@@ -3,7 +3,7 @@
 //! The service is deliberately a thin shim over the same library calls
 //! the `repro` CLI makes: `POST /analyze` runs exactly the pipeline of
 //! `repro analyze --kernel <spec> --format json` (same
-//! [`AnalyzerConfig`](dmc_core::pipeline::AnalyzerConfig), same
+//! [`AnalyzerConfig`], same
 //! `serde::json::to_string(&report)` + trailing newline), so a cached
 //! HTTP body is byte-for-byte the CLI's stdout. The equivalence is
 //! pinned by a test in `crates/bench/tests` (which can see both crates).
@@ -368,6 +368,63 @@ impl Service {
             Some(CachePolicy::Opt) => "opt",
             None => "both",
         };
+        if let Some(machine_arg) = req.query_param("machine") {
+            // Machine-hierarchy simulation (`repro simulate --machine`).
+            // Only catalog names resolve here — the daemon never reads
+            // spec files off its own filesystem.
+            if sweep.is_some() {
+                return Err(HttpError::bad_request(
+                    "query parameter sram-sweep does not apply with machine=...; use sram to set S1
+"
+                    .to_string(),
+                ));
+            }
+            let machines = if machine_arg.eq_ignore_ascii_case("all")
+                || machine_arg.eq_ignore_ascii_case("catalog")
+            {
+                dmc_machine::specs::machine_catalog()
+            } else {
+                match dmc_machine::specs::find_machine(machine_arg) {
+                    Some(m) => vec![m],
+                    None => {
+                        return Err(HttpError::bad_request(format!(
+                            "query parameter machine={machine_arg:?} is not a catalog entry ({}) — use a catalog name or 'all'
+",
+                            dmc_machine::specs::catalog_names().join(", ")
+                        )))
+                    }
+                }
+            };
+            let s1 = match req.query_param("sram") {
+                Some(v) => v.parse::<u64>().ok().filter(|&s| s >= 1).ok_or_else(|| {
+                    HttpError::bad_request(format!(
+                        "query parameter sram={v:?} needs a positive integer word count (the per-core S1)
+"
+                    ))
+                })?,
+                // Mirrors `dmc_bench::DEFAULT_MACHINE_S1`.
+                None => 64,
+            };
+            let machine_key = machines
+                .iter()
+                .map(|m| m.name.as_str())
+                .collect::<Vec<_>>()
+                .join(",");
+            let key = format!(
+                "simulate spec={} machine={machine_key} s1={s1} policy={policy_key}",
+                parsed.render()
+            );
+            return Ok(Plan {
+                key,
+                kind: PlanKind::SimulateMachine {
+                    spec,
+                    machines,
+                    s1,
+                    policy,
+                    threads,
+                },
+            });
+        }
         let sweep_key = sweep.map_or("auto".to_string(), |(lo, hi, st)| format!("{lo}:{hi}:{st}"));
         let key = format!(
             "simulate spec={} policy={policy_key} sweep={sweep_key}",
@@ -443,6 +500,13 @@ enum PlanKind {
     Simulate {
         spec: String,
         sweep: Option<(u64, u64, u64)>,
+        policy: Option<CachePolicy>,
+        threads: usize,
+    },
+    SimulateMachine {
+        spec: String,
+        machines: Vec<dmc_machine::MachineSpec>,
+        s1: u64,
         policy: Option<CachePolicy>,
         threads: usize,
     },
@@ -554,6 +618,39 @@ impl Plan {
                 json.push('\n');
                 Ok(json)
             }
+            PlanKind::SimulateMachine {
+                spec,
+                machines,
+                s1,
+                policy,
+                threads,
+            } => {
+                // Mirrors `dmc_bench::simulate_machine` (Json): one
+                // machine renders the bare report, several wrap in a
+                // `{"reports": [...]}` envelope, machines in sweep order.
+                use serde::Serialize;
+                let analyzer = Analyzer::new(AnalyzerConfig {
+                    threads: *threads,
+                    ..AnalyzerConfig::default()
+                });
+                let mut reports = Vec::new();
+                for machine in machines {
+                    let r = analyzer
+                        .validate_machine_spec(spec, machine, *s1, *policy)
+                        .map_err(|e| HttpError::bad_request(format!("{e}\n")))?;
+                    reports.push(r);
+                }
+                let mut json = if reports.len() == 1 {
+                    serde::json::to_string(&reports[0])
+                } else {
+                    serde::json::to_string(&serde::json::Value::object([(
+                        "reports",
+                        reports.to_json(),
+                    )]))
+                };
+                json.push('\n');
+                Ok(json)
+            }
         }
     }
 }
@@ -596,6 +693,10 @@ fn index_page() -> String {
      POST /simulate  body: kernel spec\n\
      \x20               query: sram-sweep=lo:hi:step policy=lru|opt|both threads=N\n\
      \x20               -> the validation-sandwich report as JSON\n\
+     \x20               query: machine=<catalog name|all> [sram=S1]\n\
+     \x20               -> the machine-hierarchy roofline report as JSON,\n\
+     \x20                  byte-identical to `repro simulate --machine ...\n\
+     \x20                  --kernel <spec> --format json`\n\
      POST /shutdown  drain in-flight requests and exit\n\
      \n\
      Results are cached by canonical content (spec render / graph hash);\n\
@@ -745,6 +846,92 @@ mod tests {
         ));
         assert_eq!(r.status, 400);
         assert!(r.body.contains("limit 256"), "{}", r.body);
+    }
+
+    #[test]
+    fn simulate_machine_runs_and_caches() {
+        let s = service();
+        let a = s.handle(&req(
+            "POST",
+            "/simulate",
+            &[("machine", "IBM BG/Q")],
+            "fft(n=8)",
+        ));
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(a.outcome, Some(Outcome::Miss));
+        assert!(a.body.contains("\"machine\":\"IBM BG/Q\""), "{}", a.body);
+        assert!(a.body.ends_with('\n'));
+        // Case-insensitive catalog lookup and an explicit default S1 land
+        // on the same cache entry.
+        let b = s.handle(&req(
+            "POST",
+            "/simulate",
+            &[("machine", "ibm bg/q"), ("sram", "64")],
+            "fft(n=8)",
+        ));
+        assert_eq!(b.outcome, Some(Outcome::Hit));
+        assert_eq!(a.body, b.body);
+        // threads must NOT change the key (reports are thread-invariant).
+        let c = s.handle(&req(
+            "POST",
+            "/simulate",
+            &[("machine", "IBM BG/Q"), ("threads", "2")],
+            "fft(n=8)",
+        ));
+        assert_eq!(c.outcome, Some(Outcome::Hit));
+        assert_eq!(a.body, c.body);
+        // A different S1 is a different key.
+        let d = s.handle(&req(
+            "POST",
+            "/simulate",
+            &[("machine", "IBM BG/Q"), ("sram", "8")],
+            "fft(n=8)",
+        ));
+        assert_eq!(d.outcome, Some(Outcome::Miss));
+        assert_ne!(a.body, d.body);
+    }
+
+    #[test]
+    fn simulate_machine_all_wraps_reports() {
+        let s = service();
+        let r = s.handle(&req("POST", "/simulate", &[("machine", "all")], "fft(n=8)"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.starts_with("{\"reports\":["), "{}", r.body);
+        assert!(r.body.contains("Cray XT5"), "{}", r.body);
+        assert!(r.body.contains("K computer"), "{}", r.body);
+    }
+
+    #[test]
+    fn simulate_machine_rejects_bad_inputs_loudly() {
+        let s = service();
+        let r = s.handle(&req(
+            "POST",
+            "/simulate",
+            &[("machine", "bogus")],
+            "fft(n=8)",
+        ));
+        assert_eq!(r.status, 400);
+        assert!(
+            r.body.contains("IBM BG/Q, Cray XT5, K computer"),
+            "{}",
+            r.body
+        );
+        let r = s.handle(&req(
+            "POST",
+            "/simulate",
+            &[("machine", "IBM BG/Q"), ("sram-sweep", "4:16:4")],
+            "fft(n=8)",
+        ));
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("sram-sweep"), "{}", r.body);
+        let r = s.handle(&req(
+            "POST",
+            "/simulate",
+            &[("machine", "IBM BG/Q"), ("sram", "0")],
+            "fft(n=8)",
+        ));
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("positive integer"), "{}", r.body);
     }
 
     #[test]

@@ -263,3 +263,38 @@ fn simulate_endpoint_roundtrip() {
     assert!(body.contains("lo:hi:step"), "{body}");
     stop(addr, handle);
 }
+
+/// The machine-hierarchy endpoint over real sockets: cached under the
+/// content-addressed key, loud on bad machines, and byte-identical
+/// across `--workers 1/2/4`.
+#[test]
+fn simulate_machine_endpoint_roundtrip_at_any_worker_count() {
+    let mut golden: Option<String> = None;
+    for workers in [1usize, 2, 4] {
+        let (addr, handle) = start(workers, Limits::default());
+        // `IBM+BG%2FQ` — spaces and slashes cannot ride raw in the
+        // request target; the daemon percent-decodes query values.
+        let (status, b1) = post(addr, "/simulate?machine=IBM+BG%2FQ", "fft(n=8)");
+        assert_eq!(status, 200, "workers={workers}: {b1}");
+        assert!(b1.contains("\"machine\":\"IBM BG/Q\""), "{b1}");
+        assert!(b1.ends_with('\n'));
+        // Same key: the explicit default S1 must hit the cache.
+        let (_, b2) = post(addr, "/simulate?machine=IBM+BG%2FQ&sram=64", "fft(n=8)");
+        assert_eq!(b1, b2, "workers={workers}: cached body diverged");
+        let (_, m) = get(addr, "/metrics");
+        assert_eq!(
+            metric(&m, "cache_hits"),
+            1,
+            "workers={workers}: default S1 must land on the same key\n{m}"
+        );
+        // Unknown machine: 400 naming the catalog.
+        let (status, body) = post(addr, "/simulate?machine=bogus", "fft(n=8)");
+        assert_eq!(status, 400);
+        assert!(body.contains("IBM BG/Q, Cray XT5, K computer"), "{body}");
+        match &golden {
+            None => golden = Some(b1),
+            Some(g) => assert_eq!(g, &b1, "workers={workers}: body diverged"),
+        }
+        stop(addr, handle);
+    }
+}

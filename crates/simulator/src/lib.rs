@@ -22,17 +22,27 @@
 //! * [`schedule`] — schedule & ownership builders: striped/block owners,
 //!   plain and level-order schedules, and the skewed (parallelogram)
 //!   tiling for 1-D Jacobi that realizes the `(2S)^{1/d}` reuse the
-//!   paper's Theorem 10 proves optimal.
+//!   paper's Theorem 10 proves optimal;
+//! * [`hierarchy_sim`] — the machine-hierarchy extension of
+//!   [`simulation`]: [`HierarchySimulation`] measures one schedule at
+//!   *every* boundary of a [`dmc_machine::MemoryHierarchy`] with
+//!   write-back accounting, and [`hierarchy_sim::split_round_robin`]
+//!   deals the schedule across P processors with barrier semantics for
+//!   the Lemma-2 horizontal comparison.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod exec;
+pub mod hierarchy_sim;
 pub mod lru;
 pub mod schedule;
 pub mod simulation;
 
 pub use exec::{simulate, SimReport};
+pub use hierarchy_sim::{
+    HierarchySimError, HierarchySimulation, HierarchyTrace, Inclusion, LevelTrace, ParallelSplit,
+};
 pub use lru::LruCache;
 pub use simulation::{CachePolicy, SimError, Simulation, Trace};

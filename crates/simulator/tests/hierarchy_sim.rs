@@ -1,0 +1,260 @@
+//! The differential test wall around the hierarchy simulator.
+//!
+//! * **Oracle**: a one-cache-level [`MemoryHierarchy`] built from any
+//!   [`MachineSpec`] must reproduce the single-cache [`Simulation::run`]
+//!   trace *exactly* — same loads, stores, hits, evictions — for every
+//!   registry kernel, at several sweep points, under both policies. The
+//!   hierarchy engine is per-level stack simulation, so this equality is
+//!   structural, and this wall keeps it that way.
+//! * **Invariants** (property-based): inclusive traffic is monotone down
+//!   the hierarchy, growing a level's capacity never increases its LRU
+//!   miss count, and an effectively infinite top level degenerates to
+//!   compulsory misses only.
+//! * **Errors**: every [`HierarchyError`] variant is constructible and
+//!   its Display names the offending level.
+
+use dmc_kernels::catalog::Registry;
+use dmc_kernels::random::{random_layered, RandomDagConfig};
+use dmc_machine::hierarchy::{HierarchyError, Level, MemoryHierarchy};
+use dmc_machine::specs::{ibm_bgq, machine_catalog};
+use dmc_sim::simulation::{min_feasible_capacity, CachePolicy, Simulation};
+use dmc_sim::{HierarchySimulation, Inclusion};
+use proptest::prelude::*;
+
+/// The differential oracle: for every registry kernel at its defaults,
+/// a single-cache-level hierarchy of capacity `S` reproduces the plain
+/// [`Simulation`] trace at `S` exactly, at three sweep points, under
+/// both eviction policies, for every catalog machine's memory size.
+#[test]
+fn one_level_hierarchy_is_the_single_cache_simulation() {
+    let registry = Registry::shared();
+    let mut sim = Simulation::new();
+    let mut hsim = HierarchySimulation::new();
+    for machine in machine_catalog() {
+        for name in registry.names() {
+            let spec = registry.defaults(name).expect("registered kernel");
+            let g = spec.build();
+            let req = min_feasible_capacity(&g) as u64;
+            for s in [req, 2 * req, 4 * req] {
+                let sched = spec.schedule_source(&g, s);
+                for policy in [CachePolicy::Lru, CachePolicy::Opt] {
+                    let flat = sim
+                        .run(&g, &sched.order, policy, s)
+                        .expect("feasible by construction");
+                    let h = machine.single_level_hierarchy(s);
+                    let tiered = hsim
+                        .run(&g, &sched.order, policy, &h, Inclusion::Inclusive)
+                        .expect("same capacity, same feasibility");
+                    assert_eq!(tiered.levels.len(), 1, "{name}: one cache boundary");
+                    assert_eq!(
+                        tiered.boundary(1).trace,
+                        flat,
+                        "{name} on {} S={s} {policy:?}: hierarchy diverged from oracle",
+                        machine.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An effectively infinite top level sees compulsory traffic only:
+/// every input is loaded exactly once and every output stored once.
+#[test]
+fn infinite_top_level_degenerates_to_compulsory_misses() {
+    let registry = Registry::shared();
+    let mut hsim = HierarchySimulation::new();
+    let h = MemoryHierarchy::new(vec![
+        Level::new("cache", 1, u64::MAX / 2),
+        Level::new("DRAM", 1, u64::MAX),
+    ])
+    .expect("valid two-level hierarchy");
+    for name in registry.names() {
+        let spec = registry.defaults(name).expect("registered kernel");
+        let g = spec.build();
+        let sched = spec.schedule_source(&g, u64::MAX / 2);
+        for policy in [CachePolicy::Lru, CachePolicy::Opt] {
+            let t = hsim
+                .run(&g, &sched.order, policy, &h, Inclusion::Inclusive)
+                .expect("infinite capacity is always feasible");
+            let b = &t.boundary(1).trace;
+            assert_eq!(
+                b.loads as usize,
+                g.inputs().len(),
+                "{name} {policy:?}: loads beyond the compulsory inputs"
+            );
+            // Only computed (dirty) outputs are flushed; an output that
+            // is also an input stays clean and is never written back.
+            let computed_outputs = g
+                .vertices()
+                .filter(|v| g.outputs().contains(v.index()) && !g.inputs().contains(v.index()))
+                .count();
+            assert_eq!(
+                b.stores as usize, computed_outputs,
+                "{name} {policy:?}: stores beyond the final output flush"
+            );
+            assert_eq!(b.evictions, 0, "{name} {policy:?}: evicted at S = infinity");
+        }
+    }
+}
+
+/// `HierarchyError`: every variant is reachable and its message names
+/// the offending level.
+#[test]
+fn hierarchy_error_variants_are_loud() {
+    let cases: Vec<(Vec<Level>, HierarchyError, &str)> = vec![
+        (
+            vec![Level::new("only", 1, 64)],
+            HierarchyError::TooFewLevels,
+            "at least two levels",
+        ),
+        (
+            vec![
+                Level::new("registers", 2, 64),
+                Level::new("DRAM", 4, 1 << 20),
+            ],
+            HierarchyError::UnitsNotMonotone(2),
+            "level 2 has more units than level 1",
+        ),
+        (
+            vec![
+                Level::new("registers", 9, 64),
+                Level::new("L2", 2, 4096),
+                Level::new("DRAM", 1, 1 << 20),
+            ],
+            HierarchyError::UnitsNotDivisible(1),
+            "do not divide",
+        ),
+        (
+            vec![
+                Level::new("registers", 0, 64),
+                Level::new("DRAM", 1, 1 << 20),
+            ],
+            HierarchyError::Degenerate(1),
+            "zero units or capacity",
+        ),
+        (
+            vec![Level::new("registers", 1, 64), Level::new("DRAM", 1, 0)],
+            HierarchyError::Degenerate(2),
+            "zero units or capacity",
+        ),
+    ];
+    for (levels, want, needle) in cases {
+        let got = MemoryHierarchy::new(levels).expect_err("invalid hierarchy must be rejected");
+        assert_eq!(got, want);
+        let msg = got.to_string();
+        assert!(msg.contains(needle), "{want:?}: {msg:?} lacks {needle:?}");
+    }
+}
+
+/// A small random layered DAG plus its Kahn order.
+fn random_case(
+    layers: usize,
+    width: usize,
+    seed: u64,
+) -> (dmc_cdag::graph::Cdag, Vec<dmc_cdag::graph::VertexId>) {
+    let g = random_layered(RandomDagConfig {
+        layers,
+        width,
+        deg: 2,
+        edge_prob: 0.0,
+        seed,
+    });
+    let order = dmc_cdag::topo::topological_order(&g);
+    (g, order)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Inclusive hierarchies with non-decreasing capacities move
+    /// monotonically less traffic down the hierarchy: the level-l miss
+    /// traffic is at least the level-(l+1) traffic, for both policies.
+    #[test]
+    fn inclusive_traffic_is_monotone(
+        layers in 2usize..6,
+        width in 1usize..6,
+        seed in 0u64..1000,
+        base in 0u64..16,
+        step1 in 0u64..32,
+        step2 in 0u64..32
+    ) {
+        let (g, order) = random_case(layers, width, seed);
+        let req = min_feasible_capacity(&g) as u64;
+        let caps = [req + base, req + base + step1, req + base + step1 + step2];
+        let h = MemoryHierarchy::new(vec![
+            Level::new("L1", 1, caps[0]),
+            Level::new("L2", 1, caps[1]),
+            Level::new("L3", 1, caps[2]),
+            Level::new("DRAM", 1, u64::MAX),
+        ]).expect("valid hierarchy");
+        let mut hsim = HierarchySimulation::new();
+        for policy in [CachePolicy::Lru, CachePolicy::Opt] {
+            let t = hsim.run(&g, &order, policy, &h, Inclusion::Inclusive)
+                .expect("caps start at the feasible minimum");
+            prop_assert_eq!(t.levels.len(), 3);
+            for w in t.levels.windows(2) {
+                prop_assert!(
+                    w[0].trace.io() >= w[1].trace.io(),
+                    "{policy:?}: level {} io {} < level {} io {}",
+                    w[0].level, w[0].trace.io(), w[1].level, w[1].trace.io()
+                );
+            }
+        }
+    }
+
+    /// LRU is a stack algorithm: growing one level's capacity never
+    /// increases that level's miss traffic (no Belady anomaly).
+    #[test]
+    fn growing_a_level_never_hurts_under_lru(
+        layers in 2usize..6,
+        width in 1usize..6,
+        seed in 0u64..1000,
+        slack in 0u64..16,
+        growth in 1u64..64
+    ) {
+        let (g, order) = random_case(layers, width, seed);
+        let req = min_feasible_capacity(&g) as u64;
+        let small = req + slack;
+        let mk = |s1: u64| MemoryHierarchy::new(vec![
+            Level::new("L1", 1, s1),
+            Level::new("DRAM", 1, u64::MAX),
+        ]).expect("valid hierarchy");
+        let mut hsim = HierarchySimulation::new();
+        let before = hsim
+            .run(&g, &order, CachePolicy::Lru, &mk(small), Inclusion::Inclusive)
+            .expect("feasible")
+            .boundary(1).trace;
+        let after = hsim
+            .run(&g, &order, CachePolicy::Lru, &mk(small + growth), Inclusion::Inclusive)
+            .expect("feasible")
+            .boundary(1).trace;
+        prop_assert!(
+            after.io() <= before.io(),
+            "S {} -> {}: io {} -> {}", small, small + growth, before.io(), after.io()
+        );
+    }
+
+    /// The one-level oracle holds on arbitrary random DAGs too, not just
+    /// the curated kernels: machine-derived single-level hierarchies and
+    /// the flat simulator agree trace-for-trace.
+    #[test]
+    fn oracle_holds_on_random_dags(
+        layers in 2usize..6,
+        width in 1usize..6,
+        seed in 0u64..1000,
+        slack in 0u64..24
+    ) {
+        let (g, order) = random_case(layers, width, seed);
+        let s = min_feasible_capacity(&g) as u64 + slack;
+        let h = ibm_bgq().single_level_hierarchy(s);
+        let mut sim = Simulation::new();
+        let mut hsim = HierarchySimulation::new();
+        for policy in [CachePolicy::Lru, CachePolicy::Opt] {
+            let flat = sim.run(&g, &order, policy, s).expect("feasible");
+            let tiered = hsim.run(&g, &order, policy, &h, Inclusion::Inclusive)
+                .expect("feasible");
+            prop_assert_eq!(&tiered.boundary(1).trace, &flat);
+        }
+    }
+}
